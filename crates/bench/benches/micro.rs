@@ -1,0 +1,169 @@
+//! Criterion microbenchmarks for the hot data structures and pipeline
+//! stages. These quantify the simulation substrate itself (not the paper's
+//! figures — those are the `src/bin` harnesses).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use prophet::{analyze, AnalysisConfig, MultiPathVictimBuffer, MvbConfig, PcProfile, ProfileCounters};
+use prophet_prefetch::{L1Prefetcher, NoL2Prefetch, StridePrefetcher};
+use prophet_sim_core::{simulate, TraceInst, VecTrace};
+use prophet_sim_mem::hierarchy::L2Event;
+use prophet_sim_mem::{Addr, Line, Pc, SystemConfig};
+use prophet_temporal::{
+    InsertionPolicy, MetaRepl, MetaTableConfig, MetadataTable, ResizePolicy, TemporalConfig,
+    TemporalEngine,
+};
+
+fn bench_metadata_table(c: &mut Criterion) {
+    c.bench_function("metadata_table_insert_lookup", |b| {
+        let mut t = MetadataTable::new(
+            MetaTableConfig {
+                sets: 2048,
+                max_ways: 8,
+                repl: MetaRepl::Srrip,
+                priority_replacement: false,
+            },
+            8,
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let src = Line((i * 7919) & 0xFFFFF);
+            t.insert(src, Line((i * 104_729) & 0xFFFFF), Pc(1), 1);
+            black_box(t.lookup(src));
+        });
+    });
+    c.bench_function("metadata_table_priority_replacement", |b| {
+        let mut t = MetadataTable::new(
+            MetaTableConfig {
+                sets: 64,
+                max_ways: 8,
+                repl: MetaRepl::Lru,
+                priority_replacement: true,
+            },
+            8,
+        );
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            t.insert(
+                Line(i & 0xFFFF),
+                Line((i * 31) & 0xFFFFF),
+                Pc(1),
+                (i % 4) as u8,
+            );
+        });
+    });
+}
+
+fn bench_mvb(c: &mut Criterion) {
+    c.bench_function("mvb_insert_lookup", |b| {
+        let mut m = MultiPathVictimBuffer::new(MvbConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            m.insert(i & 0xFFFF, Line(i & 0xFFFFF), 2);
+            black_box(m.lookup(i & 0xFFFF, None));
+        });
+    });
+}
+
+fn bench_temporal_engine(c: &mut Criterion) {
+    c.bench_function("temporal_engine_event", |b| {
+        let mut e = TemporalEngine::new(TemporalConfig {
+            degree: 4,
+            insertion: InsertionPolicy::PatternConf {
+                pattern_threshold: 4,
+                reuse_threshold: 1,
+            },
+            resize: ResizePolicy::Dueller { window: 50_000 },
+            table: MetaTableConfig::default(),
+            initial_ways: 8,
+            train_on_l1_prefetches: true,
+            train_on_l2_hits: false,
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let ev = L2Event {
+                pc: Pc(1),
+                line: Line((i * 17) % 50_000),
+                l2_hit: false,
+                from_l1_prefetch: false,
+                now: i,
+            };
+            black_box(e.on_access(&ev, None));
+            e.drain_evictions();
+        });
+    });
+}
+
+fn bench_stride_prefetcher(c: &mut Criterion) {
+    c.bench_function("stride_prefetcher_access", |b| {
+        let mut pf = StridePrefetcher::default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(pf.on_l1_access(Pc(i % 64), Addr(i * 64), false));
+        });
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    // A profile the size real workloads produce (hundreds of PCs).
+    let mut profile = ProfileCounters::default();
+    for pc in 0..512u64 {
+        profile.per_pc.insert(
+            pc,
+            PcProfile {
+                accuracy: (pc % 100) as f64 / 100.0,
+                issued: 1_000.0,
+                l2_misses: (pc * 37 % 10_000) as f64,
+            },
+        );
+    }
+    profile.insertions = 120_000.0;
+    c.bench_function("analysis_step", |b| {
+        b.iter(|| black_box(analyze(&profile, &AnalysisConfig::default())));
+    });
+    c.bench_function("counter_merge", |b| {
+        let other = profile.clone();
+        b.iter(|| {
+            let mut p = profile.clone();
+            p.merge(&other, 2, 4);
+            black_box(p);
+        });
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let insts: Vec<TraceInst> = (0..40_000u64)
+        .map(|i| TraceInst::load(Pc(1 + (i % 8)), Addr((i * 97 % 100_000) * 64)))
+        .collect();
+    let trace = VecTrace::new("bench", insts);
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("simulator_40k_insts", |b| {
+        b.iter(|| {
+            black_box(simulate(
+                &SystemConfig::isca25(),
+                &trace,
+                Box::new(StridePrefetcher::default()),
+                Box::new(NoL2Prefetch),
+                5_000,
+                35_000,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_metadata_table,
+    bench_mvb,
+    bench_temporal_engine,
+    bench_stride_prefetcher,
+    bench_analysis,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Quick calibration sweep: the Figure 10 shape on all SPEC-like workloads.
+
+use prophet_bench::{print_speedup_table, Harness, SchemeRow};
+use prophet_workloads::{workload, SPEC_WORKLOADS};
+
+fn main() {
+    let h = Harness::default();
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if names.is_empty() {
+        SPEC_WORKLOADS.to_vec()
+    } else {
+        names.iter().map(|s| s.as_str()).collect()
+    };
+    let mut rows = Vec::new();
+    for name in names {
+        let w = workload(name);
+        let row = SchemeRow::run(&h, w.as_ref());
+        eprintln!(
+            "{name}: base ipc {:.4} | rpg2 {:.4} | triangel {:.4} (cov {:.2} acc {:.2} ways {}) | prophet {:.4} (cov {:.2} acc {:.2} ways {})",
+            row.base.ipc,
+            row.rpg2.ipc,
+            row.triangel.ipc,
+            row.triangel.coverage(),
+            row.triangel.accuracy(),
+            row.triangel.meta_ways,
+            row.prophet.ipc,
+            row.prophet.coverage(),
+            row.prophet.accuracy(),
+            row.prophet.meta_ways,
+        );
+        rows.push(row);
+    }
+    print_speedup_table("Calibration (Figure 10 shape)", &rows);
+}

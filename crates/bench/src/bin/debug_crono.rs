@@ -1,0 +1,17 @@
+//! CRONO diagnosis at the fig15 measurement window.
+use prophet_bench::Harness;
+use prophet_workloads::workload;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "pagerank_100000_100".into());
+    let h = Harness { warmup: 1_100_000, measure: 1_000_000, ..Harness::default() };
+    let w = workload(&name);
+    let base = h.baseline(w.as_ref());
+    println!("base: {base}");
+    let tri = h.triangel(w.as_ref());
+    println!("tri:  {tri}");
+    println!("tri meta: {:?}", tri.meta);
+    let pro = h.prophet(w.as_ref());
+    println!("pro:  {pro}");
+    println!("pro meta: {:?}", pro.meta);
+}

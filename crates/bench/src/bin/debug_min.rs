@@ -1,0 +1,65 @@
+//! Minimal repro: one clean shuffled dependent cycle through the full
+//! simulator under the simplified temporal prefetcher.
+
+use prophet::SimplifiedTp;
+use prophet_prefetch::{L2Prefetcher, NoL1Prefetch, StridePrefetcher};
+use prophet_sim_core::{simulate, TraceInst, VecTrace};
+use prophet_sim_mem::{Addr, Pc, SystemConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(45_000);
+    let pad: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    // Shuffled cycle like the workload generator's.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut lines: Vec<u64> = (0..n).map(|i| 0x0100_0000 + i * 4 + rng.gen_range(0..4)).collect();
+    for i in (1..lines.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        lines.swap(i, j);
+    }
+    let mut insts = Vec::new();
+    let mut first = true;
+    for _round in 0..4 {
+        for &l in &lines {
+            if first {
+                insts.push(TraceInst::load(Pc(0x700), Addr(l * 64)));
+                first = false;
+            } else {
+                insts.push(TraceInst::load_dep(Pc(0x700), Addr(l * 64), (pad + 1) as u32));
+            }
+            for _ in 0..pad {
+                insts.push(TraceInst::op(Pc(0x700)));
+            }
+        }
+    }
+    let w = VecTrace::new("mincycle", insts);
+    let total = w.insts.len() as u64;
+    eprintln!("trace: {} insts ({} rounds of {})", total, 4, n);
+
+    for (l1, label) in [(false, "noL1"), (true, "stride")] {
+        let l1pf: Box<dyn prophet_prefetch::L1Prefetcher> = if l1 {
+            Box::new(StridePrefetcher::default())
+        } else {
+            Box::new(NoL1Prefetch)
+        };
+        let r = simulate(
+            &SystemConfig::isca25(),
+            &w,
+            l1pf,
+            Box::new(SimplifiedTp::new()) as Box<dyn L2Prefetcher>,
+            total / 4,
+            total,
+        );
+        println!(
+            "[{label}] ipc {:.4} | issued {} useful {} acc {:.2} cov {:.2} | l2miss {} | meta {:?}",
+            r.ipc,
+            r.issued_prefetches,
+            r.useful_prefetches,
+            r.accuracy(),
+            r.coverage(),
+            r.l2.demand_misses,
+            r.meta,
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Runs the simplified profiling prefetcher on a workload and prints per-PC
+//! insertion attribution (who floods the metadata table during profiling).
+
+use prophet::SimplifiedTp;
+use prophet_prefetch::{L1Prefetcher, L2Decision, L2Prefetcher, MetaTableStats, StridePrefetcher};
+use prophet_sim_core::Simulator;
+use prophet_sim_mem::hierarchy::L2Event;
+use prophet_sim_mem::SystemConfig;
+use prophet_workloads::workload;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Shared(Rc<RefCell<SimplifiedTp>>);
+
+impl L2Prefetcher for Shared {
+    fn name(&self) -> &'static str {
+        "simplified-tp"
+    }
+    fn on_l2_access(&mut self, ev: &L2Event) -> L2Decision {
+        self.0.borrow_mut().on_l2_access(ev)
+    }
+    fn meta_ways(&self) -> usize {
+        self.0.borrow().meta_ways()
+    }
+    fn meta_stats(&self) -> MetaTableStats {
+        self.0.borrow().meta_stats()
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "xalancbmk".into());
+    let w = workload(&name);
+    let tp = Rc::new(RefCell::new(SimplifiedTp::new()));
+    let mut sim = Simulator::new(
+        SystemConfig::isca25(),
+        Box::new(StridePrefetcher::default()) as Box<dyn L1Prefetcher>,
+        Box::new(Shared(Rc::clone(&tp))),
+    );
+    let r = sim.run(w.as_ref(), 200_000, 650_000);
+    println!("{r}");
+    println!("meta: {:?}", r.meta);
+    let tp = tp.borrow();
+    let mut by_pc: Vec<(u64, u64)> = tp
+        .engine()
+        .insertions_by_pc()
+        .iter()
+        .map(|(&pc, &n)| (pc, n))
+        .collect();
+    by_pc.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let (mn, mean, mx) = tp.engine().table().set_occupancy_stats();
+    println!(
+        "table occupancy: {} of {} (per-set min {mn} mean {mean:.1} max {mx} of {})",
+        tp.engine().table().occupancy(),
+        tp.engine().table().capacity(),
+        tp.engine().table().capacity() / 2048,
+    );
+    println!("fresh-entry allocations by inserting PC:");
+    for (pc, n) in by_pc {
+        println!("  pc {pc:#06x}: {n}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Figure 10: IPC speedup of RPG2 / Triangel / Prophet over the baseline
+//! without a temporal prefetcher, on the SPEC-like workloads.
+
+use prophet_bench::{print_speedup_table, Harness, SchemeRow};
+use prophet_workloads::{workload, SPEC_WORKLOADS};
+
+fn main() {
+    let h = Harness::default();
+    let rows: Vec<SchemeRow> = SPEC_WORKLOADS
+        .iter()
+        .map(|name| SchemeRow::run(&h, workload(name).as_ref()))
+        .collect();
+    print_speedup_table(
+        "Figure 10: IPC speedup (paper geomeans: RPG2 1.001, Triangel 1.204, Prophet 1.346)",
+        &rows,
+    );
+}

@@ -1,0 +1,27 @@
+//! Figure 11: DRAM traffic (reads + writes) normalized to the baseline.
+
+use prophet_bench::{Harness, SchemeRow};
+use prophet_sim_core::geomean;
+use prophet_workloads::{workload, SPEC_WORKLOADS};
+
+fn main() {
+    let h = Harness::default();
+    println!("Figure 11: normalized DRAM traffic (paper: RPG2 ~1.00, Triangel ~1.10, Prophet ~1.19)");
+    println!("{:<18} {:>8} {:>10} {:>9}", "workload", "RPG2", "Triangel", "Prophet");
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for name in SPEC_WORKLOADS {
+        let row = SchemeRow::run(&h, workload(name).as_ref());
+        let (a, b, c) = row.traffic();
+        cols[0].push(a);
+        cols[1].push(b);
+        cols[2].push(c);
+        println!("{:<18} {:>8.3} {:>10.3} {:>9.3}", name, a, b, c);
+    }
+    println!(
+        "{:<18} {:>8.3} {:>10.3} {:>9.3}",
+        "geomean",
+        geomean(&cols[0]),
+        geomean(&cols[1]),
+        geomean(&cols[2])
+    );
+}

@@ -1,0 +1,39 @@
+//! Figure 12: prefetching coverage (a) and accuracy (b) per scheme.
+
+use prophet_bench::{Harness, SchemeRow};
+use prophet_workloads::{workload, SPEC_WORKLOADS};
+
+fn main() {
+    let h = Harness::default();
+    println!("Figure 12: coverage / accuracy");
+    println!(
+        "{:<18} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+        "workload", "rpg2 cov", "acc", "tri cov", "acc", "pro cov", "acc"
+    );
+    let mut acc = [0.0f64; 6];
+    let mut n = 0.0;
+    for name in SPEC_WORKLOADS {
+        let r = SchemeRow::run(&h, workload(name).as_ref());
+        let vals = [
+            r.rpg2.coverage(),
+            r.rpg2.accuracy(),
+            r.triangel.coverage(),
+            r.triangel.accuracy(),
+            r.prophet.coverage(),
+            r.prophet.accuracy(),
+        ];
+        println!(
+            "{:<18} {:>9.3} {:>9.3} | {:>9.3} {:>9.3} | {:>9.3} {:>9.3}",
+            name, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
+        );
+        for (a, v) in acc.iter_mut().zip(vals) {
+            *a += v;
+        }
+        n += 1.0;
+    }
+    println!(
+        "{:<18} {:>9.3} {:>9.3} | {:>9.3} {:>9.3} | {:>9.3} {:>9.3}   (paper: Prophet coverage ≈0.43 vs Triangel ≈0.28, comparable accuracy)",
+        "mean",
+        acc[0] / n, acc[1] / n, acc[2] / n, acc[3] / n, acc[4] / n, acc[5] / n
+    );
+}

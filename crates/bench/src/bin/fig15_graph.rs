@@ -1,0 +1,22 @@
+//! Figure 15: IPC speedup on the CRONO graph workloads.
+
+use prophet_bench::{print_speedup_table, Harness, SchemeRow};
+use prophet_workloads::{workload, CRONO_WORKLOADS};
+
+fn main() {
+    // CRONO traces are one-traversal-per-pass; warm up through the first
+    // traversal so measurement covers trained passes.
+    let h = Harness {
+        warmup: 1_100_000,
+        measure: 1_000_000,
+        ..Harness::default()
+    };
+    let rows: Vec<SchemeRow> = CRONO_WORKLOADS
+        .iter()
+        .map(|name| SchemeRow::run(&h, workload(name).as_ref()))
+        .collect();
+    print_speedup_table(
+        "Figure 15: CRONO speedups (paper: RPG2 +9.1%, Triangel +8.4%, Prophet +14.9%)",
+        &rows,
+    );
+}

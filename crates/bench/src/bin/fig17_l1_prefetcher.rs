@@ -1,0 +1,19 @@
+//! Figure 17: speedups with IPCP as the L1 prefetcher (Neoverse-V2-like).
+
+use prophet_bench::{print_speedup_table, Harness, L1Scheme, SchemeRow};
+use prophet_workloads::{workload, SPEC_WORKLOADS};
+
+fn main() {
+    let h = Harness {
+        l1: L1Scheme::Ipcp,
+        ..Harness::default()
+    };
+    let rows: Vec<SchemeRow> = SPEC_WORKLOADS
+        .iter()
+        .map(|name| SchemeRow::run(&h, workload(name).as_ref()))
+        .collect();
+    print_speedup_table(
+        "Figure 17: IPCP L1 prefetcher (paper: RPG2 +0.4%, Triangel +17.5%, Prophet +30.0%)",
+        &rows,
+    );
+}

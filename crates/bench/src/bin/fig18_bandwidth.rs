@@ -1,0 +1,20 @@
+//! Figure 18: speedups with additional DRAM channels.
+
+use prophet_bench::{print_speedup_table, Harness, SchemeRow};
+use prophet_sim_mem::SystemConfig;
+use prophet_workloads::{workload, SPEC_WORKLOADS};
+
+fn main() {
+    let h = Harness {
+        sys: SystemConfig::isca25().with_dram_channels(2),
+        ..Harness::default()
+    };
+    let rows: Vec<SchemeRow> = SPEC_WORKLOADS
+        .iter()
+        .map(|name| SchemeRow::run(&h, workload(name).as_ref()))
+        .collect();
+    print_speedup_table(
+        "Figure 18: 2 DRAM channels (paper: RPG2 +0.1%, Triangel +18.2%, Prophet +32.3%)",
+        &rows,
+    );
+}

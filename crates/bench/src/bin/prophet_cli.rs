@@ -1,0 +1,50 @@
+//! A small CLI for running arbitrary experiments:
+//!
+//! ```text
+//! prophet_cli <workload> [scheme ...]
+//!   workload: any paper workload name (mcf, gcc_expr, bfs_100000_16, ...)
+//!   schemes:  baseline | triage4 | triangel | rpg2 | prophet (default: all)
+//! ```
+
+use prophet_bench::Harness;
+use prophet_workloads::workload;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(name) = args.next() else {
+        eprintln!("usage: prophet_cli <workload> [baseline|triage4|triangel|rpg2|prophet ...]");
+        std::process::exit(2);
+    };
+    let schemes: Vec<String> = args.collect();
+    let all = schemes.is_empty();
+    let want = |s: &str| all || schemes.iter().any(|x| x == s);
+
+    let h = Harness::default();
+    let w = workload(&name);
+    let base = h.baseline(w.as_ref());
+    if want("baseline") {
+        println!("{base}");
+    }
+    if want("triage4") {
+        let r = h.triage4(w.as_ref());
+        println!("speedup {:.3}\n{r}", r.speedup_over(&base));
+    }
+    if want("triangel") {
+        let r = h.triangel(w.as_ref());
+        println!("speedup {:.3}\n{r}", r.speedup_over(&base));
+    }
+    if want("rpg2") {
+        let r = h.rpg2(w.as_ref());
+        println!(
+            "qualified {:?} distance {:?} speedup {:.3}\n{}",
+            r.qualified_pcs,
+            r.distance,
+            r.report.speedup_over(&base),
+            r.report
+        );
+    }
+    if want("prophet") {
+        let r = h.prophet(w.as_ref());
+        println!("speedup {:.3}\n{r}", r.speedup_over(&base));
+    }
+}

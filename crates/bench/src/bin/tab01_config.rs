@@ -1,0 +1,8 @@
+//! Table 1: the evaluated system configuration.
+
+use prophet_sim_mem::SystemConfig;
+
+fn main() {
+    println!("Table 1: System Configuration");
+    println!("{}", SystemConfig::isca25().table1());
+}

@@ -1,0 +1,214 @@
+//! # prophet-bench
+//!
+//! The benchmark harness reproducing every table and figure of the Prophet
+//! paper. One binary per experiment lives in `src/bin/` (see EXPERIMENTS.md
+//! for the index); this library holds the shared runners.
+
+use prophet::{AnalysisConfig, ProphetConfig, ProphetPipeline, RunLengths};
+use prophet_prefetch::{IpcpPrefetcher, L1Prefetcher, NoL2Prefetch, StridePrefetcher};
+use prophet_rpg2::{Rpg2Pipeline, Rpg2Result};
+use prophet_sim_core::{simulate, SimReport, TraceSource};
+use prophet_sim_mem::SystemConfig;
+use prophet_temporal::{Triage, Triangel, TriangelConfig};
+
+/// Which L1 prefetcher a run uses (Figure 17 swaps stride for IPCP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1Scheme {
+    Stride,
+    Ipcp,
+}
+
+impl L1Scheme {
+    fn build(self) -> Box<dyn L1Prefetcher> {
+        match self {
+            L1Scheme::Stride => Box::new(StridePrefetcher::default()),
+            L1Scheme::Ipcp => Box::new(IpcpPrefetcher::default()),
+        }
+    }
+}
+
+/// Shared experiment runner: system config + run lengths + L1 scheme.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    pub sys: SystemConfig,
+    pub warmup: u64,
+    pub measure: u64,
+    pub l1: L1Scheme,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness {
+            sys: SystemConfig::isca25(),
+            warmup: 200_000,
+            measure: 650_000,
+            l1: L1Scheme::Stride,
+        }
+    }
+}
+
+impl Harness {
+    /// The baseline without a temporal prefetcher (denominator of every
+    /// speedup in the paper).
+    pub fn baseline(&self, w: &dyn TraceSource) -> SimReport {
+        simulate(
+            &self.sys,
+            w,
+            self.l1.build(),
+            Box::new(NoL2Prefetch),
+            self.warmup,
+            self.measure,
+        )
+    }
+
+    /// Triage at degree 4 with Triangel's metadata format — the Figure 19
+    /// ablation baseline.
+    pub fn triage4(&self, w: &dyn TraceSource) -> SimReport {
+        simulate(
+            &self.sys,
+            w,
+            self.l1.build(),
+            Box::new(Triage::degree4()),
+            self.warmup,
+            self.measure,
+        )
+    }
+
+    /// Triangel (the hardware state of the art).
+    pub fn triangel(&self, w: &dyn TraceSource) -> SimReport {
+        simulate(
+            &self.sys,
+            w,
+            self.l1.build(),
+            Box::new(Triangel::new(TriangelConfig::default())),
+            self.warmup,
+            self.measure,
+        )
+    }
+
+    /// RPG2 with its identify → instrument → tune pipeline.
+    pub fn rpg2(&self, w: &dyn TraceSource) -> Rpg2Result {
+        Rpg2Pipeline::new(self.sys.clone(), self.warmup, self.measure).run(w)
+    }
+
+    /// A fresh Prophet pipeline bound to this harness's configuration.
+    pub fn prophet_pipeline(&self) -> ProphetPipeline {
+        self.prophet_pipeline_with(AnalysisConfig::default(), ProphetConfig::default())
+    }
+
+    /// Prophet pipeline with explicit analysis/prefetcher configs
+    /// (sensitivity and ablation sweeps).
+    pub fn prophet_pipeline_with(
+        &self,
+        analysis: AnalysisConfig,
+        prophet: ProphetConfig,
+    ) -> ProphetPipeline {
+        ProphetPipeline::new(
+            self.sys.clone(),
+            analysis,
+            prophet,
+            RunLengths {
+                warmup: self.warmup,
+                measure: self.measure,
+            },
+        )
+    }
+
+    /// Full Prophet on one workload: profile it, analyze, run optimized.
+    /// (Single-input "Direct" mode; the learning figures drive the pipeline
+    /// manually.)
+    pub fn prophet(&self, w: &dyn TraceSource) -> SimReport {
+        self.prophet_with(w, AnalysisConfig::default(), ProphetConfig::default())
+    }
+
+    /// Prophet with explicit configs.
+    pub fn prophet_with(
+        &self,
+        w: &dyn TraceSource,
+        analysis: AnalysisConfig,
+        prophet: ProphetConfig,
+    ) -> SimReport {
+        let mut pl = self.prophet_pipeline_with(analysis, prophet);
+        pl.learn_input(w);
+        if self.l1 == L1Scheme::Ipcp {
+            // The pipeline's optimized run uses the stride L1; rebuild with
+            // the harness's L1 scheme instead.
+            simulate(
+                &self.sys,
+                w,
+                self.l1.build(),
+                Box::new(pl.build_prophet()),
+                self.warmup,
+                self.measure,
+            )
+        } else {
+            pl.run_optimized(w)
+        }
+    }
+}
+
+/// One row of a Figure 10/11/12-style comparison.
+#[derive(Debug, Clone)]
+pub struct SchemeRow {
+    pub workload: String,
+    pub base: SimReport,
+    pub rpg2: SimReport,
+    pub triangel: SimReport,
+    pub prophet: SimReport,
+}
+
+impl SchemeRow {
+    /// Runs all four schemes on `w`.
+    pub fn run(h: &Harness, w: &dyn TraceSource) -> SchemeRow {
+        SchemeRow {
+            workload: w.name(),
+            base: h.baseline(w),
+            rpg2: h.rpg2(w).report,
+            triangel: h.triangel(w),
+            prophet: h.prophet(w),
+        }
+    }
+
+    /// `(rpg2, triangel, prophet)` speedups over the baseline.
+    pub fn speedups(&self) -> (f64, f64, f64) {
+        (
+            self.rpg2.speedup_over(&self.base),
+            self.triangel.speedup_over(&self.base),
+            self.prophet.speedup_over(&self.base),
+        )
+    }
+
+    /// `(rpg2, triangel, prophet)` DRAM traffic normalized to baseline.
+    pub fn traffic(&self) -> (f64, f64, f64) {
+        (
+            self.rpg2.traffic_ratio_over(&self.base),
+            self.triangel.traffic_ratio_over(&self.base),
+            self.prophet.traffic_ratio_over(&self.base),
+        )
+    }
+}
+
+/// Formats a header + rows + geomean table the way the paper's bar charts
+/// read (one row per workload, one column per scheme).
+pub fn print_speedup_table(title: &str, rows: &[SchemeRow]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<18} {:>8} {:>10} {:>9}",
+        "workload", "RPG2", "Triangel", "Prophet"
+    );
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for r in rows {
+        let (a, b, c) = r.speedups();
+        cols[0].push(a);
+        cols[1].push(b);
+        cols[2].push(c);
+        println!("{:<18} {:>8.3} {:>10.3} {:>9.3}", r.workload, a, b, c);
+    }
+    println!(
+        "{:<18} {:>8.3} {:>10.3} {:>9.3}",
+        "geomean",
+        prophet_sim_core::geomean(&cols[0]),
+        prophet_sim_core::geomean(&cols[1]),
+        prophet_sim_core::geomean(&cols[2]),
+    );
+}

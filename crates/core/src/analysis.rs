@@ -1,0 +1,265 @@
+//! Step 2: Analysis — counters in, hints out (Section 4.2).
+//!
+//! * **Insertion hint** (Eq. 1): a PC whose profiled prefetching accuracy is
+//!   below the extremely-low threshold `EL_ACC` almost certainly exhibits no
+//!   temporal pattern; its demand requests are discarded by the prefetcher.
+//! * **Replacement priority** (Eq. 2): surviving PCs get one of 2ⁿ priority
+//!   levels by accuracy band.
+//! * **Resizing** (Eq. 3): the peak allocated-entry count, rounded to a
+//!   power of two and capped at the 1 MB table, converts to LLC ways;
+//!   temporal prefetching is disabled outright when under half a way.
+
+use crate::counters::ProfileCounters;
+use crate::hints::{CsrHint, HintSet, PcHint};
+use prophet_temporal::ENTRIES_PER_LINE;
+
+/// Analysis parameters (paper defaults in [`AnalysisConfig::default`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisConfig {
+    /// `EL_ACC`, the extremely-low accuracy threshold of Eq. 1
+    /// (Figure 16a evaluates 0.05 / **0.15** / 0.25).
+    pub el_acc: f64,
+    /// `n`, the priority-level bit width of Eq. 2
+    /// (Figure 16b evaluates 1 / **2** / 3).
+    pub priority_bits: u8,
+    /// Hint-buffer capacity: only the top PCs by L2 misses receive hints
+    /// (Section 4.4; 128 suffices empirically).
+    pub hint_entries: usize,
+    /// LLC sets (Eq. 3 denominator).
+    pub llc_sets: usize,
+    /// Hard cap on the table: entries a 1 MB table holds (Section 4.2
+    /// footnote: the rounded value must not exceed this).
+    pub max_table_entries: u64,
+    /// Minimum issued prefetches for a PC's accuracy to be trusted; below
+    /// this the PC keeps the default hint (a PC that never triggered a
+    /// prefetch carries no temporal evidence either way).
+    pub min_issued: f64,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            el_acc: 0.15,
+            priority_bits: 2,
+            hint_entries: 128,
+            llc_sets: 2048,
+            max_table_entries: 196_608,
+            min_issued: 8.0,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// Eq. 1: should a PC with accuracy `acc` train the prefetcher?
+    pub fn insertion(&self, acc: f64) -> bool {
+        acc >= self.el_acc
+    }
+
+    /// Eq. 2: the priority level of accuracy `acc` — `floor(acc · 2ⁿ)`
+    /// clamped to `[0, 2ⁿ − 1]`.
+    pub fn priority(&self, acc: f64) -> u8 {
+        let levels = 1u32 << self.priority_bits;
+        let level = (acc * levels as f64).floor() as i64;
+        level.clamp(0, levels as i64 - 1) as u8
+    }
+
+    /// Eq. 3 with the preceding rounding step: allocated-entry count →
+    /// (ways, enabled). Rounds `allocated` to the nearest power of two,
+    /// caps at the 1 MB table, divides by per-way entry capacity; a result
+    /// under 0.5 ways disables temporal prefetching.
+    pub fn resize(&self, allocated: f64) -> CsrHint {
+        let per_way = (self.llc_sets * ENTRIES_PER_LINE) as f64;
+        let rounded = round_pow2(allocated.max(0.0)).min(self.max_table_entries as f64);
+        let ways_real = rounded / per_way;
+        if ways_real < 0.5 {
+            return CsrHint {
+                enabled: false,
+                meta_ways: 0,
+            };
+        }
+        let max_ways = (self.max_table_entries as f64 / per_way).round() as usize;
+        CsrHint {
+            enabled: true,
+            meta_ways: (ways_real.ceil() as usize).clamp(1, max_ways),
+        }
+    }
+}
+
+/// Rounds to the nearest power of two (0 stays 0; ties round up).
+fn round_pow2(x: f64) -> f64 {
+    if x < 1.0 {
+        return 0.0;
+    }
+    let lo = 2f64.powf(x.log2().floor());
+    let hi = lo * 2.0;
+    if (x - lo) < (hi - x) {
+        lo
+    } else {
+        hi
+    }
+}
+
+/// Runs the Analysis step: profile counters → hint set.
+///
+/// PCs are ranked by their L2-miss contribution and only the top
+/// `hint_entries` receive hints (the hint buffer is finite); all hinted PCs
+/// get the Eq. 1 insertion bit and the Eq. 2 priority level.
+pub fn analyze(profile: &ProfileCounters, cfg: &AnalysisConfig) -> HintSet {
+    let mut ranked: Vec<(u64, &crate::counters::PcProfile)> =
+        profile.per_pc.iter().map(|(pc, p)| (*pc, p)).collect();
+    ranked.sort_by(|a, b| {
+        b.1.l2_misses
+            .partial_cmp(&a.1.l2_misses)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+
+    let pc_hints = ranked
+        .into_iter()
+        .take(cfg.hint_entries)
+        .map(|(pc, p)| {
+            let hint = if p.issued < cfg.min_issued {
+                PcHint::DEFAULT
+            } else {
+                PcHint {
+                    insert: cfg.insertion(p.accuracy),
+                    priority: cfg.priority(p.accuracy),
+                }
+            };
+            (pc, hint)
+        })
+        .collect();
+
+    HintSet {
+        pc_hints,
+        csr: cfg.resize(profile.allocated_entries()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::PcProfile;
+
+    fn cfg() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    #[test]
+    fn eq1_threshold() {
+        let c = cfg();
+        assert!(!c.insertion(0.0));
+        assert!(!c.insertion(0.1499));
+        assert!(c.insertion(0.15));
+        assert!(c.insertion(0.9));
+    }
+
+    #[test]
+    fn eq2_priority_bands_n2() {
+        let c = cfg(); // n = 2 → 4 levels at 0.25 boundaries
+        assert_eq!(c.priority(0.0), 0);
+        assert_eq!(c.priority(0.2), 0);
+        assert_eq!(c.priority(0.25), 1);
+        assert_eq!(c.priority(0.49), 1);
+        assert_eq!(c.priority(0.5), 2);
+        assert_eq!(c.priority(0.75), 3);
+        assert_eq!(c.priority(1.0), 3, "top band clamps");
+    }
+
+    #[test]
+    fn eq2_priority_bands_n3() {
+        let c = AnalysisConfig {
+            priority_bits: 3,
+            ..cfg()
+        };
+        assert_eq!(c.priority(0.13), 1);
+        assert_eq!(c.priority(0.99), 7);
+    }
+
+    #[test]
+    fn eq3_resizing_rounds_and_caps() {
+        let c = cfg(); // per way: 2048 × 12 = 24,576 entries
+        // 100k entries → rounds to 131072 → 5.33 ways → ceil 6.
+        let h = c.resize(100_000.0);
+        assert!(h.enabled);
+        assert_eq!(h.meta_ways, 6);
+        // Tiny footprint → under half a way → disabled (sphinx3-style).
+        let h = c.resize(2_000.0);
+        assert!(!h.enabled);
+        assert_eq!(h.meta_ways, 0);
+        // Enormous footprint → capped at the 1 MB maximum (8 ways).
+        let h = c.resize(10_000_000.0);
+        assert!(h.enabled);
+        assert_eq!(h.meta_ways, 8);
+    }
+
+    #[test]
+    fn round_pow2_behaviour() {
+        assert_eq!(round_pow2(0.0), 0.0);
+        assert_eq!(round_pow2(1.0), 1.0);
+        assert_eq!(round_pow2(3.0), 4.0);
+        assert_eq!(round_pow2(5.0), 4.0);
+        assert_eq!(round_pow2(6.1), 8.0);
+        assert_eq!(round_pow2(48.0), 64.0);
+    }
+
+    fn profile_with(pcs: &[(u64, f64, f64, f64)]) -> ProfileCounters {
+        ProfileCounters {
+            per_pc: pcs
+                .iter()
+                .map(|&(pc, acc, issued, miss)| {
+                    (
+                        pc,
+                        PcProfile {
+                            accuracy: acc,
+                            issued,
+                            l2_misses: miss,
+                        },
+                    )
+                })
+                .collect(),
+            insertions: 50_000.0,
+            replacements: 0.0,
+        }
+    }
+
+    #[test]
+    fn analyze_filters_low_accuracy_pcs() {
+        let p = profile_with(&[
+            (1, 0.9, 100.0, 1000.0), // good temporal PC
+            (2, 0.02, 100.0, 900.0), // noise PC → filtered
+        ]);
+        let hints = analyze(&p, &cfg());
+        let h: std::collections::HashMap<u64, PcHint> = hints.pc_hints.into_iter().collect();
+        assert!(h[&1].insert);
+        assert_eq!(h[&1].priority, 3);
+        assert!(!h[&2].insert);
+    }
+
+    #[test]
+    fn analyze_ranks_by_misses_and_truncates() {
+        let pcs: Vec<(u64, f64, f64, f64)> = (0..200u64)
+            .map(|pc| (pc, 0.5, 100.0, 1000.0 - pc as f64))
+            .collect();
+        let hints = analyze(&profile_with(&pcs), &cfg());
+        assert_eq!(hints.pc_hints.len(), 128);
+        // The highest-miss PC (pc 0) must be first.
+        assert_eq!(hints.pc_hints[0].0, 0);
+    }
+
+    #[test]
+    fn analyze_untrusted_pcs_get_default() {
+        let p = profile_with(&[(7, 0.0, 2.0, 500.0)]); // only 2 issues
+        let hints = analyze(&p, &cfg());
+        assert_eq!(hints.pc_hints[0].1, PcHint::DEFAULT);
+    }
+
+    #[test]
+    fn analyze_sets_csr_from_footprint() {
+        let p = profile_with(&[(1, 0.9, 100.0, 10.0)]);
+        let hints = analyze(&p, &cfg());
+        // 50k allocated → rounds to 65536 → 2.67 ways → 3 ways.
+        assert!(hints.csr.enabled);
+        assert_eq!(hints.csr.meta_ways, 3);
+    }
+}

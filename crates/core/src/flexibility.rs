@@ -1,0 +1,197 @@
+//! Prophet's feature flexibility (Section 5.9, "The flexibility of
+//! Prophet").
+//!
+//! The paper: "Prophet's features are designed to be modular, allowing
+//! programmers to selectively enable or disable specific features based on
+//! evaluated performance and memory traffic. [...] if Prophet's impact on
+//! performance is unfavorable for certain workloads, programmers can
+//! selectively roll back to a subset of Prophet's features or revert to
+//! the runtime temporal prefetcher."
+//!
+//! [`select_features`] automates that evaluation: it measures the
+//! cumulative ablation ladder (the Figure 19 stages plus the pure-runtime
+//! fallback) on a profiled workload and returns the configuration a
+//! deployment engineer would pick under a performance/traffic trade-off.
+
+use crate::pipeline::ProphetPipeline;
+use crate::prophet::ProphetFeatures;
+use prophet_prefetch::StridePrefetcher;
+use prophet_sim_core::{simulate, SimReport, TraceSource};
+use prophet_temporal::Triage;
+
+/// What a deployment is optimizing for when rolling features back.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionPolicy {
+    /// DRAM-traffic increase (vs the runtime prefetcher) tolerated per
+    /// 1% of speedup gained. `f64::INFINITY` = performance at any cost.
+    pub traffic_per_speedup: f64,
+}
+
+impl Default for SelectionPolicy {
+    fn default() -> Self {
+        SelectionPolicy {
+            traffic_per_speedup: f64::INFINITY,
+        }
+    }
+}
+
+/// The outcome of a feature-selection evaluation.
+#[derive(Debug, Clone)]
+pub struct FeatureSelection {
+    /// `None` = revert to the runtime temporal prefetcher.
+    pub features: Option<ProphetFeatures>,
+    /// Report of the chosen configuration.
+    pub report: SimReport,
+    /// Reports of every candidate evaluated: `(label, ipc, dram traffic)`.
+    pub candidates: Vec<(String, f64, u64)>,
+}
+
+/// The cumulative ablation ladder of Figure 19 (plus full rollback).
+fn ladder() -> Vec<(&'static str, Option<ProphetFeatures>)> {
+    vec![
+        ("runtime", None),
+        (
+            "+repla",
+            Some(ProphetFeatures {
+                replacement: true,
+                insertion: false,
+                mvb: false,
+                resizing: false,
+            }),
+        ),
+        (
+            "+insert",
+            Some(ProphetFeatures {
+                replacement: true,
+                insertion: true,
+                mvb: false,
+                resizing: false,
+            }),
+        ),
+        (
+            "+mvb",
+            Some(ProphetFeatures {
+                replacement: true,
+                insertion: true,
+                mvb: true,
+                resizing: false,
+            }),
+        ),
+        ("+resize", Some(ProphetFeatures::all())),
+    ]
+}
+
+/// Evaluates the feature ladder for `workload` on a trained `pipeline` and
+/// picks the best configuration under `policy`. A configuration only
+/// displaces a cheaper one if its speedup gain is worth its extra traffic.
+pub fn select_features(
+    pipeline: &ProphetPipeline,
+    workload: &dyn TraceSource,
+    policy: SelectionPolicy,
+) -> FeatureSelection {
+    let lengths = *pipeline.lengths();
+    let sys = pipeline.system().clone();
+    let mut best: Option<(Option<ProphetFeatures>, SimReport)> = None;
+    let mut candidates = Vec::new();
+
+    for (label, features) in ladder() {
+        let report = match features {
+            None => simulate(
+                &sys,
+                workload,
+                Box::new(StridePrefetcher::default()),
+                Box::new(Triage::degree4()),
+                lengths.warmup,
+                lengths.measure,
+            ),
+            Some(f) => {
+                let mut cfg = pipeline.prophet_config().clone();
+                cfg.features = f;
+                let prophet = crate::prophet::Prophet::new(cfg, &pipeline.hints());
+                simulate(
+                    &sys,
+                    workload,
+                    Box::new(StridePrefetcher::default()),
+                    Box::new(prophet),
+                    lengths.warmup,
+                    lengths.measure,
+                )
+            }
+        };
+        candidates.push((label.to_string(), report.ipc, report.dram_traffic()));
+        let take = match &best {
+            None => true,
+            Some((_, b)) => {
+                let speedup_gain = report.ipc / b.ipc - 1.0;
+                let traffic_growth = if b.dram_traffic() == 0 {
+                    0.0
+                } else {
+                    report.dram_traffic() as f64 / b.dram_traffic() as f64 - 1.0
+                };
+                report.ipc > b.ipc
+                    && (policy.traffic_per_speedup.is_infinite()
+                        || traffic_growth <= policy.traffic_per_speedup * speedup_gain * 100.0)
+            }
+        };
+        if take {
+            best = Some((features, report));
+        }
+    }
+    let (features, report) = best.expect("ladder is non-empty");
+    FeatureSelection {
+        features,
+        report,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_workloads::spec_workload;
+
+    #[test]
+    fn full_prophet_wins_on_omnetpp() {
+        let mut pl = ProphetPipeline::isca25();
+        pl.lengths_mut().warmup = 150_000;
+        pl.lengths_mut().measure = 400_000;
+        let w = spec_workload("omnetpp");
+        pl.learn_input(&w);
+        let sel = select_features(&pl, &w, SelectionPolicy::default());
+        assert_eq!(sel.candidates.len(), 5);
+        assert!(
+            sel.features.is_some(),
+            "Prophet features must beat the runtime fallback on omnetpp"
+        );
+        // The chosen configuration is the best-IPC candidate.
+        let best_ipc = sel
+            .candidates
+            .iter()
+            .map(|(_, ipc, _)| *ipc)
+            .fold(f64::MIN, f64::max);
+        assert!((sel.report.ipc - best_ipc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_conscious_policy_can_roll_back() {
+        let mut pl = ProphetPipeline::isca25();
+        pl.lengths_mut().warmup = 150_000;
+        pl.lengths_mut().measure = 400_000;
+        let w = spec_workload("omnetpp");
+        pl.learn_input(&w);
+        // Zero traffic tolerance: only configurations that speed up without
+        // any extra traffic can displace the runtime fallback.
+        let strict = select_features(
+            &pl,
+            &w,
+            SelectionPolicy {
+                traffic_per_speedup: 0.0,
+            },
+        );
+        let loose = select_features(&pl, &w, SelectionPolicy::default());
+        assert!(
+            strict.report.dram_traffic() <= loose.report.dram_traffic(),
+            "a stricter traffic policy never chooses more traffic"
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! The Multi-path Victim Buffer (Section 4.5, Figure 9).
+//!
+//! The metadata table stores one Markov target per source. When an address
+//! participates in several temporal sequences — (A,B,C) and (A,B,D) give B
+//! the targets C *and* D, which Figure 8 shows happens for ~45% of
+//! addresses — the second target's insertion *evicts* the first, and the
+//! evicted path becomes unprefetchable. The MVB catches those evicted
+//! targets:
+//!
+//! * **Insertion**: only targets whose priority level is above 0
+//!   (`acc > EL_ACC`) are buffered.
+//! * **Replacement**: entries carry a 2-bit counter per target, incremented
+//!   on use; the entry priority is its maximal target counter, and the
+//!   lowest-priority entry (LRU-tiebroken) is the victim — Prophet's own
+//!   replacement policy re-used.
+//! * **Prefetch**: every prefetcher lookup also consults the MVB with the
+//!   same key; stored targets that differ from the table's prediction are
+//!   prefetched additionally.
+
+use crate::storage::MVB_ENTRY_BITS;
+use prophet_sim_mem::Line;
+
+/// MVB geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MvbConfig {
+    /// Total entries (paper: 65,536 → 344 KB at 43 bits each).
+    pub entries: usize,
+    /// Associativity of the buffer.
+    pub ways: usize,
+    /// Markov-target candidates stored per entry (Figure 16c evaluates
+    /// 1 / 2 / 4; **1** is the paper's choice).
+    pub candidates: usize,
+}
+
+impl Default for MvbConfig {
+    fn default() -> Self {
+        MvbConfig {
+            entries: 65_536,
+            ways: 4,
+            candidates: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct MvbEntry {
+    key: u64,
+    /// `(target, 2-bit use counter)`, at most `candidates` of them.
+    targets: Vec<(Line, u8)>,
+    stamp: u64,
+}
+
+impl MvbEntry {
+    /// Entry priority for replacement: the maximal target counter.
+    fn priority(&self) -> u8 {
+        self.targets.iter().map(|&(_, c)| c).max().unwrap_or(0)
+    }
+}
+
+/// The Multi-path Victim Buffer.
+#[derive(Debug, Clone)]
+pub struct MultiPathVictimBuffer {
+    cfg: MvbConfig,
+    sets: usize,
+    slots: Vec<Option<MvbEntry>>,
+    clock: u64,
+    inserted: u64,
+    hits: u64,
+}
+
+impl MultiPathVictimBuffer {
+    /// Builds the buffer.
+    ///
+    /// # Panics
+    /// Panics if the geometry does not divide into whole power-of-two sets.
+    pub fn new(cfg: MvbConfig) -> Self {
+        assert!(cfg.ways > 0 && cfg.candidates > 0, "degenerate MVB geometry");
+        let sets = cfg.entries / cfg.ways;
+        assert!(sets.is_power_of_two(), "MVB sets must be a power of two");
+        MultiPathVictimBuffer {
+            slots: vec![None; cfg.entries],
+            sets,
+            clock: 0,
+            inserted: 0,
+            hits: 0,
+            cfg,
+        }
+    }
+
+    /// Storage cost in bytes (Section 5.10: 43 bits per entry; entries with
+    /// multiple candidates scale the target+counter part).
+    pub fn storage_bytes(&self) -> f64 {
+        // 10-bit tag + candidates × (31-bit target + 2-bit counter).
+        let bits_per_entry = 10.0 + self.cfg.candidates as f64 * 33.0;
+        debug_assert!(self.cfg.candidates != 1 || bits_per_entry == MVB_ENTRY_BITS as f64);
+        self.cfg.entries as f64 * bits_per_entry / 8.0
+    }
+
+    /// Entries inserted so far.
+    pub fn insertions(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Lookups that returned at least one target.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    fn set_range(&self, key: u64) -> std::ops::Range<usize> {
+        let set = (key as usize) & (self.sets - 1);
+        set * self.cfg.ways..(set + 1) * self.cfg.ways
+    }
+
+    /// Buffers an evicted Markov target. Per the insertion rule, callers
+    /// must only pass victims with priority level > 0; this method enforces
+    /// it by ignoring level-0 victims.
+    pub fn insert(&mut self, key: u64, target: Line, victim_priority: u8) {
+        if victim_priority == 0 {
+            return;
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.set_range(key);
+
+        // Existing entry for the key: add/refresh the target.
+        if let Some(e) = self.slots[range.clone()]
+            .iter_mut()
+            .flatten()
+            .find(|e| e.key == key)
+        {
+            e.stamp = clock;
+            if let Some(t) = e.targets.iter_mut().find(|(l, _)| *l == target) {
+                t.1 = (t.1 + 1).min(3);
+            } else if e.targets.len() < self.cfg.candidates {
+                e.targets.push((target, 0));
+            } else {
+                // Replace the least-used candidate.
+                let weakest = e
+                    .targets
+                    .iter_mut()
+                    .min_by_key(|(_, c)| *c)
+                    .expect("candidates is positive");
+                *weakest = (target, 0);
+            }
+            return;
+        }
+
+        self.inserted += 1;
+        let fresh = MvbEntry {
+            key,
+            targets: vec![(target, 0)],
+            stamp: clock,
+        };
+        // Empty slot?
+        if let Some(slot) = self.slots[range.clone()].iter_mut().find(|s| s.is_none()) {
+            *slot = Some(fresh);
+            return;
+        }
+        // Prophet replacement: lowest priority (max counter), LRU tiebreak.
+        let victim = self.slots[range]
+            .iter_mut()
+            .min_by_key(|s| {
+                let e = s.as_ref().expect("set is full");
+                (e.priority(), e.stamp)
+            })
+            .expect("ways > 0");
+        *victim = Some(fresh);
+    }
+
+    /// Looks up extra Markov targets for `key`, excluding `table_target`
+    /// (the prediction the metadata table already made). Hitting targets
+    /// have their use counters incremented.
+    pub fn lookup(&mut self, key: u64, table_target: Option<Line>) -> Vec<Line> {
+        let range = self.set_range(key);
+        let Some(e) = self.slots[range]
+            .iter_mut()
+            .flatten()
+            .find(|e| e.key == key)
+        else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (line, counter) in &mut e.targets {
+            if Some(*line) != table_target {
+                *counter = (*counter + 1).min(3);
+                out.push(*line);
+            }
+        }
+        if !out.is_empty() {
+            self.hits += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mvb(candidates: usize) -> MultiPathVictimBuffer {
+        MultiPathVictimBuffer::new(MvbConfig {
+            entries: 64,
+            ways: 4,
+            candidates,
+        })
+    }
+
+    #[test]
+    fn level0_victims_are_not_buffered() {
+        let mut m = mvb(1);
+        m.insert(1, Line(100), 0);
+        assert!(m.lookup(1, None).is_empty());
+        assert_eq!(m.insertions(), 0);
+    }
+
+    #[test]
+    fn buffered_target_is_returned_once_table_disagrees() {
+        let mut m = mvb(1);
+        m.insert(7, Line(100), 2);
+        // Table predicts something else → MVB supplies the second path.
+        assert_eq!(m.lookup(7, Some(Line(200))), vec![Line(100)]);
+        // Table predicts the same line → nothing extra.
+        assert!(m.lookup(7, Some(Line(100))).is_empty());
+    }
+
+    #[test]
+    fn multi_candidate_entries_hold_two_paths() {
+        let mut m = mvb(2);
+        m.insert(7, Line(100), 2);
+        m.insert(7, Line(101), 2);
+        let mut t = m.lookup(7, None);
+        t.sort();
+        assert_eq!(t, vec![Line(100), Line(101)]);
+    }
+
+    #[test]
+    fn single_candidate_replaces_weakest() {
+        let mut m = mvb(1);
+        m.insert(7, Line(100), 2);
+        m.lookup(7, None); // counter(100) → 1
+        m.insert(7, Line(101), 2); // replaces the only candidate
+        assert_eq!(m.lookup(7, None), vec![Line(101)]);
+    }
+
+    #[test]
+    fn replacement_evicts_lowest_counter_entry() {
+        let mut m = MultiPathVictimBuffer::new(MvbConfig {
+            entries: 4,
+            ways: 4,
+            candidates: 1,
+        });
+        // Fill one set (all keys map to set 0 since sets = 1).
+        for k in 0..4u64 {
+            m.insert(k, Line(100 + k), 1);
+        }
+        // Use keys 1..4 so key 0 stays at counter 0.
+        for k in 1..4u64 {
+            m.lookup(k, None);
+        }
+        m.insert(99, Line(999), 1);
+        assert!(
+            m.lookup(0, None).is_empty(),
+            "the unused entry must have been the victim"
+        );
+        assert_eq!(m.lookup(99, None), vec![Line(999)]);
+    }
+
+    #[test]
+    fn storage_matches_paper() {
+        let m = MultiPathVictimBuffer::new(MvbConfig::default());
+        let kb = m.storage_bytes() / 1024.0;
+        assert!((kb - 344.0).abs() < 1.0, "65,536 × 43 bits ≈ 344 KB, got {kb}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = MultiPathVictimBuffer::new(MvbConfig {
+            entries: 60,
+            ways: 4,
+            candidates: 1,
+        });
+    }
+}

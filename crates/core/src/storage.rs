@@ -1,0 +1,97 @@
+//! Storage-overhead accounting (Section 5.10).
+//!
+//! Prophet's storage cost has three components, all quantified by the
+//! paper: 2-bit replacement states for up to 196,608 metadata entries
+//! (48 KB), the 128-entry hint buffer (0.19 KB), and the 65,536-entry
+//! Multi-path Victim Buffer at 43 bits per entry (344 KB).
+
+/// Bits per MVB entry: 31-bit target + 10-bit tag + 2-bit counter.
+pub const MVB_ENTRY_BITS: u32 = 43;
+
+/// Maximum metadata entries (1 MB table).
+pub const MAX_META_ENTRIES: u64 = 196_608;
+
+/// Bits of Prophet replacement state per metadata entry (n = 2).
+pub const REPL_STATE_BITS: u32 = 2;
+
+/// A storage-overhead breakdown in bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageBreakdown {
+    pub replacement_state_bytes: f64,
+    pub hint_buffer_bytes: f64,
+    pub mvb_bytes: f64,
+}
+
+impl StorageBreakdown {
+    /// The paper's configuration: 1 MB table × 2-bit states, 128-entry hint
+    /// buffer, 65,536-entry MVB.
+    pub fn isca25() -> Self {
+        StorageBreakdown::new(MAX_META_ENTRIES, 2, 128, 65_536, 1)
+    }
+
+    /// Computes the breakdown for arbitrary parameters. `priority_bits` is
+    /// Eq. 2's `n`; `candidates` the MVB candidates per entry.
+    pub fn new(
+        meta_entries: u64,
+        priority_bits: u32,
+        hint_entries: u64,
+        mvb_entries: u64,
+        candidates: u64,
+    ) -> Self {
+        StorageBreakdown {
+            replacement_state_bytes: meta_entries as f64 * priority_bits as f64 / 8.0,
+            hint_buffer_bytes: hint_entries as f64 * 12.0 / 8.0,
+            mvb_bytes: mvb_entries as f64 * (10.0 + candidates as f64 * 33.0) / 8.0,
+        }
+    }
+
+    /// Total overhead in bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.replacement_state_bytes + self.hint_buffer_bytes + self.mvb_bytes
+    }
+
+    /// Renders the Section 5.10 table.
+    pub fn table(&self) -> String {
+        format!(
+            "Component                    | Storage\n\
+             -----------------------------+---------\n\
+             Prophet replacement states   | {:>7.2} KB\n\
+             Hint buffer                  | {:>7.2} KB\n\
+             Multi-path Victim Buffer     | {:>7.2} KB\n\
+             Total                        | {:>7.2} KB",
+            self.replacement_state_bytes / 1024.0,
+            self.hint_buffer_bytes / 1024.0,
+            self.mvb_bytes / 1024.0,
+            self.total_bytes() / 1024.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        let s = StorageBreakdown::isca25();
+        assert!((s.replacement_state_bytes / 1024.0 - 48.0).abs() < 0.01);
+        assert!((s.hint_buffer_bytes / 1024.0 - 0.1875).abs() < 0.01);
+        assert!((s.mvb_bytes / 1024.0 - 344.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn n3_replacement_state_grows() {
+        let s2 = StorageBreakdown::new(MAX_META_ENTRIES, 2, 128, 65_536, 1);
+        let s3 = StorageBreakdown::new(MAX_META_ENTRIES, 3, 128, 65_536, 1);
+        assert!(s3.replacement_state_bytes > s2.replacement_state_bytes);
+        assert!((s3.replacement_state_bytes / 1024.0 - 72.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = StorageBreakdown::isca25().table();
+        for needle in ["replacement states", "Hint buffer", "Victim Buffer", "Total"] {
+            assert!(t.contains(needle));
+        }
+    }
+}

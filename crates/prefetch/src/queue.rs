@@ -1,0 +1,85 @@
+//! Prefetch request filtering.
+//!
+//! Real prefetch queues drop requests that duplicate a recently issued one;
+//! without this, chained temporal lookups re-issue the same lines and the
+//! accuracy accounting is distorted. [`RecentFilter`] is a small ring of
+//! recently seen lines shared by all L2 prefetcher integrations.
+
+use prophet_sim_mem::Line;
+
+/// A fixed-capacity ring remembering recently issued prefetch targets.
+#[derive(Debug, Clone)]
+pub struct RecentFilter {
+    ring: Vec<Line>,
+    next: usize,
+    filled: usize,
+}
+
+impl RecentFilter {
+    /// Creates a filter remembering the last `capacity` lines.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "filter capacity must be positive");
+        RecentFilter {
+            ring: vec![Line(u64::MAX); capacity],
+            next: 0,
+            filled: 0,
+        }
+    }
+
+    /// Returns `true` (and records the line) if `line` was *not* seen among
+    /// the last `capacity` insertions; returns `false` for duplicates.
+    pub fn admit(&mut self, line: Line) -> bool {
+        if self.ring[..self.filled].contains(&line) {
+            return false;
+        }
+        self.ring[self.next] = line;
+        self.next = (self.next + 1) % self.ring.len();
+        self.filled = (self.filled + 1).min(self.ring.len());
+        true
+    }
+
+    /// Forgets everything.
+    pub fn clear(&mut self) {
+        self.next = 0;
+        self.filled = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_new_rejects_duplicate() {
+        let mut f = RecentFilter::new(4);
+        assert!(f.admit(Line(1)));
+        assert!(!f.admit(Line(1)));
+        assert!(f.admit(Line(2)));
+    }
+
+    #[test]
+    fn old_entries_age_out() {
+        let mut f = RecentFilter::new(2);
+        assert!(f.admit(Line(1)));
+        assert!(f.admit(Line(2)));
+        assert!(f.admit(Line(3))); // evicts 1
+        assert!(f.admit(Line(1)), "line 1 must have aged out");
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let mut f = RecentFilter::new(4);
+        f.admit(Line(1));
+        f.clear();
+        assert!(f.admit(Line(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = RecentFilter::new(0);
+    }
+}

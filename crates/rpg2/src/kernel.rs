@@ -1,0 +1,219 @@
+//! RPG2 kernel identification.
+//!
+//! RPG2 (Zhang et al., ASPLOS'24) is a profile-guided *software* prefetching
+//! scheme for indirect accesses `a[b[i]]` whose prefetch kernel `b[i]`
+//! follows a stride pattern. Identification follows the paper's Section 5.1
+//! methodology: find memory instructions that (a) cause at least 10% of
+//! cache misses and (b) have an RPG2-supported prefetch kernel — i.e. the
+//! load *producing their address* (or the load itself) is stride-dominated.
+//!
+//! Address-dependency edges are visible to RPG2 through its binary
+//! instrumentation; in our substrate they are the `dep_back` links of the
+//! trace.
+
+use prophet_sim_core::trace::{MemOp, TraceInst, TraceSource};
+use std::collections::HashMap;
+
+/// Fraction of total L2 misses a PC must cause to be considered
+/// (the paper: "at least 10% cache misses").
+pub const MISS_SHARE_THRESHOLD: f64 = 0.10;
+
+/// Fraction of a PC's address deltas that must equal the modal delta for
+/// the stream to count as stride-dominated.
+pub const STRIDE_MODE_THRESHOLD: f64 = 0.5;
+
+/// Per-PC stream statistics gathered by one trace scan.
+#[derive(Debug, Clone, Default)]
+pub struct PcStream {
+    /// Total loads from this PC.
+    pub loads: u64,
+    /// Modal non-zero byte delta and its occurrence count.
+    pub mode_delta: i64,
+    pub mode_count: u64,
+    /// Total non-zero deltas observed.
+    pub delta_count: u64,
+    /// The PC that most often produces this PC's address (via `dep_back`),
+    /// with its count.
+    pub producer: Option<(u64, u64)>,
+}
+
+impl PcStream {
+    /// Whether the PC's own access stream is stride-dominated.
+    pub fn is_strided(&self) -> bool {
+        self.delta_count > 16
+            && self.mode_delta != 0
+            && self.mode_count as f64 >= STRIDE_MODE_THRESHOLD * self.delta_count as f64
+    }
+}
+
+/// Result of kernel identification for one workload.
+#[derive(Debug, Clone, Default)]
+pub struct KernelAnalysis {
+    /// Per-PC stream statistics.
+    pub streams: HashMap<u64, PcStream>,
+}
+
+impl KernelAnalysis {
+    /// Scans a trace and gathers per-PC statistics. Pure software analysis
+    /// — no simulation involved.
+    pub fn scan(source: &dyn TraceSource) -> Self {
+        let mut streams: HashMap<u64, PcStream> = HashMap::new();
+        let mut deltas: HashMap<u64, HashMap<i64, u64>> = HashMap::new();
+        let mut last_addr: HashMap<u64, u64> = HashMap::new();
+        let mut window: Vec<TraceInst> = Vec::new();
+
+        for inst in source.stream() {
+            window.push(inst);
+            let idx = window.len() - 1;
+            if let Some(MemOp::Load(addr)) = inst.op {
+                let s = streams.entry(inst.pc.0).or_default();
+                s.loads += 1;
+                if let Some(&prev) = last_addr.get(&inst.pc.0) {
+                    let d = addr.0 as i64 - prev as i64;
+                    if d != 0 {
+                        s.delta_count += 1;
+                        let h = deltas.entry(inst.pc.0).or_default();
+                        *h.entry(d).or_insert(0) += 1;
+                    }
+                }
+                last_addr.insert(inst.pc.0, addr.0);
+                // Producer attribution through the dependency edge.
+                if let Some(back) = inst.dep_back {
+                    if let Some(producer) = window.get(idx - back as usize) {
+                        if matches!(producer.op, Some(MemOp::Load(_))) {
+                            let entry = s.producer.get_or_insert((producer.pc.0, 0));
+                            if entry.0 == producer.pc.0 {
+                                entry.1 += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            // Keep the window bounded (dependencies reach ≤ 280 back).
+            if window.len() > 4_096 {
+                window.drain(0..2_048);
+            }
+        }
+        // Finalize modal deltas.
+        for (pc, h) in deltas {
+            if let Some((&d, &c)) = h.iter().max_by_key(|(_, &c)| c) {
+                let s = streams.get_mut(&pc).expect("stream exists");
+                s.mode_delta = d;
+                s.mode_count = c;
+            }
+        }
+        KernelAnalysis { streams }
+    }
+
+    /// Applies the RPG2 qualification rule given per-PC L2 miss counts from
+    /// a baseline profiling run: qualified PCs cause ≥10% of total misses
+    /// and have a stride-dominated kernel (their address producer, or the
+    /// stream itself).
+    pub fn qualify(&self, miss_per_pc: &HashMap<u64, u64>) -> Vec<u64> {
+        let total: u64 = miss_per_pc.values().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<u64> = self
+            .streams
+            .iter()
+            .filter(|(pc, s)| {
+                let misses = miss_per_pc.get(pc).copied().unwrap_or(0);
+                if (misses as f64) < MISS_SHARE_THRESHOLD * total as f64 {
+                    return false;
+                }
+                // Kernel check: the producing PC's stream (indirect access)
+                // or the PC's own stream (direct strided access).
+                let kernel_strided = s
+                    .producer
+                    .and_then(|(kpc, _)| self.streams.get(&kpc))
+                    .map(|k| k.is_strided())
+                    .unwrap_or(false);
+                kernel_strided || s.is_strided()
+            })
+            .map(|(pc, _)| *pc)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_sim_core::trace::VecTrace;
+    use prophet_sim_mem::{Addr, Pc};
+
+    /// kernel b[i] strided at PC 1; indirect a[b[i]] at PC 2.
+    fn indirect_trace() -> VecTrace {
+        let mut insts = Vec::new();
+        let idx: Vec<u64> = (0..512u64)
+            .map(|i| {
+                // A proper bit mixer: a plain `(i*K) % m` has constant
+                // deltas and would itself look strided.
+                ((i ^ (i >> 3)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) % 10_000
+            })
+            .collect();
+        for (i, &v) in idx.iter().enumerate() {
+            insts.push(TraceInst::load(Pc(1), Addr(1_000_000 + i as u64 * 8)));
+            insts.push(TraceInst::load_dep(Pc(2), Addr(8_000_000 + v * 64), 1));
+        }
+        VecTrace::new("ind", insts)
+    }
+
+    #[test]
+    fn kernel_pc_detected_as_strided() {
+        let a = KernelAnalysis::scan(&indirect_trace());
+        assert!(a.streams[&1].is_strided(), "b[i] is a stride kernel");
+        assert!(!a.streams[&2].is_strided(), "a[b[i]] itself is irregular");
+    }
+
+    #[test]
+    fn producer_attribution_through_dep() {
+        let a = KernelAnalysis::scan(&indirect_trace());
+        assert_eq!(a.streams[&2].producer.map(|(pc, _)| pc), Some(1));
+    }
+
+    #[test]
+    fn indirect_pc_qualifies_when_missing_enough() {
+        let a = KernelAnalysis::scan(&indirect_trace());
+        let mut misses = HashMap::new();
+        misses.insert(2u64, 400u64);
+        misses.insert(1u64, 50u64);
+        let q = a.qualify(&misses);
+        assert!(q.contains(&2), "indirect access with strided kernel qualifies");
+    }
+
+    #[test]
+    fn pointer_chase_does_not_qualify() {
+        // Self-dependent irregular chain: no strided kernel anywhere.
+        let mut insts = Vec::new();
+        let mut l = 7u64;
+        for i in 0..512u64 {
+            l = (l * 2_654_435_761 + 11) % 100_000;
+            let inst = if i == 0 {
+                TraceInst::load(Pc(3), Addr(l * 64))
+            } else {
+                TraceInst::load_dep(Pc(3), Addr(l * 64), 1)
+            };
+            insts.push(inst);
+        }
+        let t = VecTrace::new("chase", insts);
+        let a = KernelAnalysis::scan(&t);
+        let mut misses = HashMap::new();
+        misses.insert(3u64, 500u64);
+        assert!(
+            a.qualify(&misses).is_empty(),
+            "mcf/omnetpp-style chains have no supported kernel (footnote 6)"
+        );
+    }
+
+    #[test]
+    fn cold_pcs_below_miss_share_excluded() {
+        let a = KernelAnalysis::scan(&indirect_trace());
+        let mut misses = HashMap::new();
+        misses.insert(2u64, 5u64);
+        misses.insert(99u64, 1_000u64); // some other dominant PC
+        assert!(a.qualify(&misses).is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! The RPG2 pipeline: identify → instrument → tune distance.
+
+use crate::kernel::KernelAnalysis;
+use crate::swpf::Rpg2Prefetcher;
+use prophet_prefetch::{NoL2Prefetch, StridePrefetcher};
+use prophet_sim_core::{simulate, SimReport, TraceSource};
+use prophet_sim_mem::SystemConfig;
+use std::collections::HashMap;
+
+/// Candidate distances explored by the tuner (RPG2 doubles the distance
+/// until performance drops, then refines — a geometric sweep visits the
+/// same points).
+pub const DISTANCE_CANDIDATES: [i64; 5] = [2, 4, 8, 16, 32];
+
+/// The RPG2 profile-guided pipeline for one workload.
+#[derive(Debug, Clone)]
+pub struct Rpg2Pipeline {
+    sys: SystemConfig,
+    warmup: u64,
+    measure: u64,
+}
+
+/// Outcome of running the pipeline.
+#[derive(Debug, Clone)]
+pub struct Rpg2Result {
+    /// PCs that qualified for software prefetching.
+    pub qualified_pcs: Vec<u64>,
+    /// The tuned distance (lines); `None` when nothing qualified.
+    pub distance: Option<i64>,
+    /// The report with the optimal distance (the paper reports performance
+    /// at the tuned optimum).
+    pub report: SimReport,
+}
+
+impl Rpg2Pipeline {
+    /// Creates the pipeline.
+    pub fn new(sys: SystemConfig, warmup: u64, measure: u64) -> Self {
+        Rpg2Pipeline {
+            sys,
+            warmup,
+            measure,
+        }
+    }
+
+    /// Identification: miss profile (baseline run) + trace scan.
+    pub fn identify(&self, workload: &dyn TraceSource) -> Vec<u64> {
+        let base = simulate(
+            &self.sys,
+            workload,
+            Box::new(StridePrefetcher::default()),
+            Box::new(NoL2Prefetch),
+            self.warmup,
+            self.measure,
+        );
+        let misses: HashMap<u64, u64> = base
+            .per_pc
+            .iter()
+            .map(|(&pc, s)| (pc, s.l2_misses))
+            .collect();
+        KernelAnalysis::scan(workload).qualify(&misses)
+    }
+
+    /// Runs one instrumented simulation at `distance`.
+    pub fn run_at_distance(
+        &self,
+        workload: &dyn TraceSource,
+        pcs: &[u64],
+        distance: i64,
+    ) -> SimReport {
+        simulate(
+            &self.sys,
+            workload,
+            Box::new(StridePrefetcher::default()),
+            Box::new(Rpg2Prefetcher::with_uniform_distance(pcs, distance)),
+            self.warmup,
+            self.measure,
+        )
+    }
+
+    /// The full pipeline: identify, tune the distance by sweeping the
+    /// candidates, return the best run. With no qualified PCs the result is
+    /// the plain baseline (RPG2 inserts nothing — footnote 6's case).
+    pub fn run(&self, workload: &dyn TraceSource) -> Rpg2Result {
+        let qualified = self.identify(workload);
+        if qualified.is_empty() {
+            let mut report = simulate(
+                &self.sys,
+                workload,
+                Box::new(StridePrefetcher::default()),
+                Box::new(NoL2Prefetch),
+                self.warmup,
+                self.measure,
+            );
+            report.scheme = "rpg2".into();
+            return Rpg2Result {
+                qualified_pcs: qualified,
+                distance: None,
+                report,
+            };
+        }
+        let mut best: Option<(i64, SimReport)> = None;
+        for &d in &DISTANCE_CANDIDATES {
+            let r = self.run_at_distance(workload, &qualified, d);
+            let better = match &best {
+                None => true,
+                Some((_, b)) => r.ipc > b.ipc,
+            };
+            if better {
+                best = Some((d, r));
+            }
+        }
+        let (distance, report) = best.expect("at least one candidate evaluated");
+        Rpg2Result {
+            qualified_pcs: qualified,
+            distance: Some(distance),
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_sim_core::trace::{TraceInst, VecTrace};
+    use prophet_sim_mem::{Addr, Pc};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A CRONO-flavoured indirect workload: strided kernel + locally
+    /// clustered indirect targets, repeated.
+    fn crono_like() -> VecTrace {
+        let mut rng = StdRng::seed_from_u64(5);
+        let idx: Vec<u64> = (0..30_000u64)
+            .map(|i| (i / 4) * 2 + rng.gen_range(0..64))
+            .collect();
+        let mut insts = Vec::new();
+        for _ in 0..3 {
+            for (i, &v) in idx.iter().enumerate() {
+                insts.push(TraceInst::load(Pc(1), Addr(0x10_0000 * 64 + i as u64 * 8)));
+                insts.push(TraceInst::load_dep(Pc(2), Addr(0x20_0000 * 64 + v * 64), 1));
+                insts.push(TraceInst::op(Pc(2)));
+            }
+        }
+        VecTrace::new("crono-like", insts)
+    }
+
+    #[test]
+    fn identifies_indirect_pc_on_crono_like_workload() {
+        let pl = Rpg2Pipeline::new(SystemConfig::isca25(), 20_000, 120_000);
+        let q = pl.identify(&crono_like());
+        assert!(q.contains(&2), "the indirect PC must qualify, got {q:?}");
+    }
+
+    #[test]
+    fn tuned_run_improves_over_baseline() {
+        let pl = Rpg2Pipeline::new(SystemConfig::isca25(), 20_000, 120_000);
+        let w = crono_like();
+        let res = pl.run(&w);
+        assert!(res.distance.is_some());
+        let base = simulate(
+            &SystemConfig::isca25(),
+            &w,
+            Box::new(StridePrefetcher::default()),
+            Box::new(NoL2Prefetch),
+            20_000,
+            120_000,
+        );
+        assert!(
+            res.report.ipc >= base.ipc,
+            "tuned RPG2 must not lose to baseline: {} vs {}",
+            res.report.ipc,
+            base.ipc
+        );
+    }
+
+    #[test]
+    fn pointer_chase_yields_no_instrumentation() {
+        let mut insts = Vec::new();
+        let mut l = 3u64;
+        for i in 0..200_000u64 {
+            l = (l * 2_654_435_761 + 7) % 200_000;
+            let inst = if i == 0 {
+                TraceInst::load(Pc(9), Addr(l * 64))
+            } else {
+                TraceInst::load_dep(Pc(9), Addr(l * 64), 1)
+            };
+            insts.push(inst);
+        }
+        let w = VecTrace::new("chase", insts);
+        let pl = Rpg2Pipeline::new(SystemConfig::isca25(), 20_000, 100_000);
+        let res = pl.run(&w);
+        assert!(res.qualified_pcs.is_empty());
+        assert!(res.distance.is_none());
+        assert_eq!(res.report.scheme, "rpg2");
+        assert_eq!(
+            res.report.issued_prefetches, 0,
+            "no kernels → no software prefetches (footnote 6)"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! SimPoint-style checkpointed execution (Section 5.1).
+//!
+//! The paper samples each workload with SimPoint checkpoints, warms each
+//! checkpoint up with 250M instructions, measures the next 50M, and
+//! aggregates per-benchmark results "with weighted averages". This module
+//! provides the same structure at our trace scale: a list of
+//! [`Checkpoint`]s (offset into the trace, lengths, weight) and
+//! [`run_checkpoints`], which simulates each one on a fresh machine state
+//! and aggregates with [`crate::report::aggregate_weighted`].
+
+use crate::report::{aggregate_weighted, SimReport};
+use crate::sim::Simulator;
+use crate::trace::{TraceInst, TraceSource};
+use prophet_prefetch::{L1Prefetcher, L2Prefetcher};
+use prophet_sim_mem::SystemConfig;
+
+/// One SimPoint checkpoint: where in the trace it starts and how much of
+/// the program's execution it represents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Checkpoint {
+    /// Instructions to skip before the checkpoint begins.
+    pub offset: u64,
+    /// Warm-up instructions (not measured).
+    pub warmup: u64,
+    /// Measured instructions.
+    pub measure: u64,
+    /// SimPoint weight (normalized across checkpoints by the aggregator).
+    pub weight: f64,
+}
+
+/// A trace source restricted to a window `[offset, offset + len)`.
+struct Windowed<'a> {
+    inner: &'a dyn TraceSource,
+    offset: u64,
+    len: u64,
+}
+
+impl TraceSource for Windowed<'_> {
+    fn name(&self) -> String {
+        format!("{}@{}", self.inner.name(), self.offset)
+    }
+
+    fn stream(&self) -> Box<dyn Iterator<Item = TraceInst> + '_> {
+        Box::new(
+            self.inner
+                .stream()
+                .skip(self.offset as usize)
+                .take(self.len as usize),
+        )
+    }
+}
+
+/// Simulates every checkpoint of `workload` on a fresh machine (factories
+/// supply the prefetchers so each checkpoint starts cold, as a restored
+/// gem5 checkpoint does) and returns the weighted aggregate plus the
+/// per-checkpoint reports.
+pub fn run_checkpoints(
+    sys: &SystemConfig,
+    workload: &dyn TraceSource,
+    checkpoints: &[Checkpoint],
+    mut l1_factory: impl FnMut() -> Box<dyn L1Prefetcher>,
+    mut l2_factory: impl FnMut() -> Box<dyn L2Prefetcher>,
+) -> (SimReport, Vec<SimReport>) {
+    assert!(!checkpoints.is_empty(), "need at least one checkpoint");
+    let mut parts = Vec::with_capacity(checkpoints.len());
+    for cp in checkpoints {
+        let window = Windowed {
+            inner: workload,
+            offset: cp.offset,
+            len: cp.warmup + cp.measure,
+        };
+        let mut sim = Simulator::new(sys.clone(), l1_factory(), l2_factory());
+        let report = sim.run(&window, cp.warmup, cp.measure);
+        parts.push((cp.weight, report));
+    }
+    let aggregate = aggregate_weighted(&parts);
+    (aggregate, parts.into_iter().map(|(_, r)| r).collect())
+}
+
+/// Evenly spaced checkpoints covering a trace of `total` instructions —
+/// the fallback the Triangel artifact used ("evenly samples checkpoints
+/// throughout the program's lifecycle", Section 5.2), provided for
+/// comparison with SimPoint-selected ones.
+pub fn even_checkpoints(total: u64, count: usize, warmup: u64, measure: u64) -> Vec<Checkpoint> {
+    assert!(count > 0, "need at least one checkpoint");
+    let span = warmup + measure;
+    let stride = if count == 1 {
+        0
+    } else {
+        total.saturating_sub(span) / (count as u64 - 1).max(1)
+    };
+    (0..count as u64)
+        .map(|i| Checkpoint {
+            offset: i * stride,
+            warmup,
+            measure,
+            weight: 1.0 / count as f64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::VecTrace;
+    use prophet_prefetch::{NoL1Prefetch, NoL2Prefetch};
+    use prophet_sim_mem::{Addr, Pc};
+
+    fn phased_trace() -> VecTrace {
+        // Phase 1: cache-friendly loop; phase 2: streaming misses.
+        let mut insts = Vec::new();
+        for _ in 0..200 {
+            for l in 0..128u64 {
+                insts.push(TraceInst::load(Pc(1), Addr(l * 64)));
+            }
+        }
+        for i in 0..60_000u64 {
+            insts.push(TraceInst::load(Pc(2), Addr((1_000_000 + i) * 64)));
+        }
+        VecTrace::new("phased", insts)
+    }
+
+    #[test]
+    fn checkpoints_capture_phase_difference() {
+        let w = phased_trace();
+        let cps = [
+            Checkpoint {
+                offset: 0,
+                warmup: 2_000,
+                measure: 10_000,
+                weight: 0.5,
+            },
+            Checkpoint {
+                offset: 30_000,
+                warmup: 2_000,
+                measure: 10_000,
+                weight: 0.5,
+            },
+        ];
+        let (agg, parts) = run_checkpoints(
+            &SystemConfig::isca25(),
+            &w,
+            &cps,
+            || Box::new(NoL1Prefetch),
+            || Box::new(NoL2Prefetch),
+        );
+        assert_eq!(parts.len(), 2);
+        assert!(
+            parts[0].ipc > 3.0 * parts[1].ipc,
+            "hot loop ({}) must be far faster than the stream ({})",
+            parts[0].ipc,
+            parts[1].ipc
+        );
+        // The aggregate is the weighted mean of the phase IPCs.
+        let expect = 0.5 * parts[0].ipc + 0.5 * parts[1].ipc;
+        assert!((agg.ipc - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn even_checkpoints_cover_the_trace() {
+        let cps = even_checkpoints(100_000, 4, 1_000, 5_000);
+        assert_eq!(cps.len(), 4);
+        assert_eq!(cps[0].offset, 0);
+        assert!(cps[3].offset + 6_000 <= 100_000);
+        let total_w: f64 = cps.iter().map(|c| c.weight).sum();
+        assert!((total_w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one checkpoint")]
+    fn empty_checkpoints_rejected() {
+        let w = phased_trace();
+        let _ = run_checkpoints(
+            &SystemConfig::isca25(),
+            &w,
+            &[],
+            || Box::new(NoL1Prefetch),
+            || Box::new(NoL2Prefetch),
+        );
+    }
+}

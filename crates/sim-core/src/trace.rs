@@ -1,0 +1,159 @@
+//! The instruction trace format the simulator consumes.
+//!
+//! The paper drives gem5 with SimPoint checkpoints of SPEC/CRONO binaries.
+//! Our substitute is a stream of [`TraceInst`] records produced by the
+//! workload generators: each record carries a PC, an optional memory
+//! operation, and an optional *address dependency* on an earlier load. The
+//! dependency is what makes pointer chasing serialize in the timing model —
+//! precisely the behaviour temporal prefetching attacks (Section 1).
+
+use prophet_sim_mem::addr::{Addr, Pc};
+
+/// The memory operation of an instruction, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// A demand load from `addr`.
+    Load(Addr),
+    /// A store to `addr` (retired through the store buffer; never stalls the
+    /// ROB in our model, but updates cache state and dirties lines).
+    Store(Addr),
+}
+
+impl MemOp {
+    /// The byte address of the operation.
+    pub fn addr(self) -> Addr {
+        match self {
+            MemOp::Load(a) | MemOp::Store(a) => a,
+        }
+    }
+
+    /// Whether this is a store.
+    pub fn is_store(self) -> bool {
+        matches!(self, MemOp::Store(_))
+    }
+}
+
+/// One instruction of the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceInst {
+    /// PC of the instruction.
+    pub pc: Pc,
+    /// Memory operation, or `None` for a plain ALU/branch instruction.
+    pub op: Option<MemOp>,
+    /// If set, this instruction's *address* was produced by the instruction
+    /// `dep_back` positions earlier in the trace (which must be a load).
+    /// The instruction cannot begin executing until that load completes —
+    /// the long-chain dependency of pointer-based structures (Section 2.2).
+    pub dep_back: Option<u32>,
+}
+
+impl TraceInst {
+    /// A non-memory instruction.
+    pub fn op(pc: Pc) -> Self {
+        TraceInst {
+            pc,
+            op: None,
+            dep_back: None,
+        }
+    }
+
+    /// An independent load.
+    pub fn load(pc: Pc, addr: Addr) -> Self {
+        TraceInst {
+            pc,
+            op: Some(MemOp::Load(addr)),
+            dep_back: None,
+        }
+    }
+
+    /// A load whose address depends on the load `back` instructions earlier.
+    pub fn load_dep(pc: Pc, addr: Addr, back: u32) -> Self {
+        TraceInst {
+            pc,
+            op: Some(MemOp::Load(addr)),
+            dep_back: Some(back),
+        }
+    }
+
+    /// An independent store.
+    pub fn store(pc: Pc, addr: Addr) -> Self {
+        TraceInst {
+            pc,
+            op: Some(MemOp::Store(addr)),
+            dep_back: None,
+        }
+    }
+}
+
+/// Anything that can produce a fresh instruction stream on demand.
+///
+/// Workloads implement this; the simulator consumes one stream for warm-up
+/// and a fresh stream for measurement, and the Prophet pipeline re-runs the
+/// same "binary" several times (profile run, optimized run, new inputs), so
+/// traces must be re-generatable — hence a factory rather than a one-shot
+/// iterator.
+pub trait TraceSource {
+    /// A short identifier (e.g. `"mcf"`, `"gcc_166"`).
+    fn name(&self) -> String;
+
+    /// Creates the instruction stream from the beginning.
+    fn stream(&self) -> Box<dyn Iterator<Item = TraceInst> + '_>;
+}
+
+/// A trace held in memory; convenient for tests and tiny examples.
+#[derive(Debug, Clone, Default)]
+pub struct VecTrace {
+    /// Identifier reported by [`TraceSource::name`].
+    pub label: String,
+    /// The instructions.
+    pub insts: Vec<TraceInst>,
+}
+
+impl VecTrace {
+    /// Wraps a vector of instructions.
+    pub fn new(label: impl Into<String>, insts: Vec<TraceInst>) -> Self {
+        VecTrace {
+            label: label.into(),
+            insts,
+        }
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn stream(&self) -> Box<dyn Iterator<Item = TraceInst> + '_> {
+        Box::new(self.insts.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memop_accessors() {
+        assert_eq!(MemOp::Load(Addr(64)).addr(), Addr(64));
+        assert!(MemOp::Store(Addr(0)).is_store());
+        assert!(!MemOp::Load(Addr(0)).is_store());
+    }
+
+    #[test]
+    fn constructors_set_fields() {
+        let l = TraceInst::load_dep(Pc(1), Addr(2), 3);
+        assert_eq!(l.dep_back, Some(3));
+        assert_eq!(l.op, Some(MemOp::Load(Addr(2))));
+        let o = TraceInst::op(Pc(9));
+        assert!(o.op.is_none() && o.dep_back.is_none());
+    }
+
+    #[test]
+    fn vec_trace_replays() {
+        let t = VecTrace::new("t", vec![TraceInst::op(Pc(1)), TraceInst::op(Pc(2))]);
+        assert_eq!(t.stream().count(), 2);
+        assert_eq!(t.stream().count(), 2, "stream() restarts from the top");
+        assert_eq!(t.name(), "t");
+    }
+}

@@ -1,0 +1,187 @@
+//! A bandwidth-queued DRAM channel model.
+//!
+//! The paper's system uses `LPDDR5_5500_1x16_BG_BL32`, single channel
+//! (Table 1), and evaluates sensitivity to added channels in Figure 18. The
+//! figures only depend on (a) a large fixed access latency relative to the
+//! on-chip hierarchy and (b) finite per-channel bandwidth that useless
+//! prefetches can saturate, so the model is: each 64-byte transfer occupies
+//! its channel for a fixed service time, requests queue FIFO per channel, and
+//! a read completes `base_latency` cycles after it starts service.
+
+use crate::addr::{Cycle, Line};
+
+/// DRAM timing/topology parameters, in core clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Independent channels; a line maps to channel `line % channels`.
+    pub channels: usize,
+    /// Cycles from start-of-service to data return (row activation + CAS +
+    /// transfer for LPDDR5-5500 at a ~3 GHz core clock).
+    pub base_latency: Cycle,
+    /// Channel occupancy per 64-byte transfer (bandwidth bound:
+    /// 64 B / ~11 GB/s ≈ 6 ns ≈ 18 core cycles for 1×16 LPDDR5-5500).
+    pub service_cycles: Cycle,
+}
+
+impl DramConfig {
+    /// Single-channel LPDDR5-5500 as in Table 1.
+    pub fn lpddr5_single_channel() -> Self {
+        DramConfig {
+            channels: 1,
+            base_latency: 140,
+            service_cycles: 18,
+        }
+    }
+
+    /// The Figure 18 configuration with additional channels.
+    pub fn with_channels(self, channels: usize) -> Self {
+        assert!(channels >= 1, "need at least one channel");
+        DramConfig { channels, ..self }
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::lpddr5_single_channel()
+    }
+}
+
+/// Traffic counters — the Figure 11 metric is `reads + writes`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    pub reads: u64,
+    pub writes: u64,
+    /// Total cycles requests spent waiting for a busy channel.
+    pub queue_cycles: u64,
+}
+
+impl DramStats {
+    /// Total transfers (the paper's "memory traffic": DRAM reads + writes).
+    pub fn traffic(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// The DRAM device: per-channel next-free times plus counters.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: DramConfig,
+    next_free: Vec<Cycle>,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates an idle DRAM with the given configuration.
+    pub fn new(cfg: DramConfig) -> Self {
+        Dram {
+            next_free: vec![0; cfg.channels],
+            stats: DramStats::default(),
+            cfg,
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Resets counters (channel timing state is kept: bandwidth pressure
+    /// carries across the warm-up boundary, as on real hardware).
+    pub fn reset_stats(&mut self) {
+        self.stats = DramStats::default();
+    }
+
+    #[inline]
+    fn channel_of(&self, line: Line) -> usize {
+        (line.0 as usize) % self.cfg.channels
+    }
+
+    /// Issues a read for `line` at time `now`; returns the completion time.
+    pub fn read(&mut self, line: Line, now: Cycle) -> Cycle {
+        self.stats.reads += 1;
+        self.schedule(line, now)
+    }
+
+    /// Issues a write-back for `line` at time `now`; returns the completion
+    /// time (callers normally ignore it — write-backs are not on the load
+    /// critical path — but the channel occupancy still delays later reads).
+    pub fn write(&mut self, line: Line, now: Cycle) -> Cycle {
+        self.stats.writes += 1;
+        self.schedule(line, now)
+    }
+
+    fn schedule(&mut self, line: Line, now: Cycle) -> Cycle {
+        let ch = self.channel_of(line);
+        let start = now.max(self.next_free[ch]);
+        self.stats.queue_cycles += start - now;
+        self.next_free[ch] = start + self.cfg.service_cycles;
+        start + self.cfg.base_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_read_takes_base_latency() {
+        let mut d = Dram::new(DramConfig::default());
+        let done = d.read(Line(0), 1000);
+        assert_eq!(done, 1000 + d.config().base_latency);
+        assert_eq!(d.stats().reads, 1);
+    }
+
+    #[test]
+    fn back_to_back_reads_queue_on_one_channel() {
+        let cfg = DramConfig::lpddr5_single_channel();
+        let mut d = Dram::new(cfg);
+        let t0 = d.read(Line(0), 0);
+        let t1 = d.read(Line(1), 0);
+        assert_eq!(t0, cfg.base_latency);
+        assert_eq!(t1, cfg.service_cycles + cfg.base_latency);
+        assert_eq!(d.stats().queue_cycles, cfg.service_cycles);
+    }
+
+    #[test]
+    fn extra_channels_remove_queueing() {
+        let cfg = DramConfig::lpddr5_single_channel().with_channels(2);
+        let mut d = Dram::new(cfg);
+        // Lines 0 and 1 map to different channels.
+        let t0 = d.read(Line(0), 0);
+        let t1 = d.read(Line(1), 0);
+        assert_eq!(t0, cfg.base_latency);
+        assert_eq!(t1, cfg.base_latency);
+        assert_eq!(d.stats().queue_cycles, 0);
+    }
+
+    #[test]
+    fn writes_occupy_bandwidth() {
+        let cfg = DramConfig::lpddr5_single_channel();
+        let mut d = Dram::new(cfg);
+        d.write(Line(0), 0);
+        let t = d.read(Line(2), 0);
+        assert_eq!(t, cfg.service_cycles + cfg.base_latency);
+        assert_eq!(d.stats().traffic(), 2);
+    }
+
+    #[test]
+    fn channel_frees_over_time() {
+        let cfg = DramConfig::lpddr5_single_channel();
+        let mut d = Dram::new(cfg);
+        d.read(Line(0), 0);
+        // Much later the channel is idle again.
+        let t = d.read(Line(1), 10_000);
+        assert_eq!(t, 10_000 + cfg.base_latency);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        let _ = DramConfig::default().with_channels(0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the memory substrate.
+
+use proptest::prelude::*;
+use prophet_sim_mem::cache::{demand_line, Cache, CacheConfig};
+use prophet_sim_mem::replacement::{ReplKind, ReplState};
+use prophet_sim_mem::{CountingBloom, Hierarchy, Line, Pc, SystemConfig};
+
+proptest! {
+    /// Any replacement policy returns victims inside the allowed range.
+    #[test]
+    fn victims_stay_in_range(
+        kind_idx in 0usize..5,
+        ops in proptest::collection::vec((0usize..8, any::<bool>()), 1..200),
+        lo in 0usize..4,
+    ) {
+        let kinds = [
+            ReplKind::Lru,
+            ReplKind::Plru,
+            ReplKind::Srrip,
+            ReplKind::Hawkeye,
+            ReplKind::Random,
+        ];
+        let mut s = ReplState::new(kinds[kind_idx], 8);
+        for (way, hit) in ops {
+            if hit {
+                s.on_hit(way);
+            } else {
+                s.on_fill(way);
+            }
+        }
+        let hi = 8;
+        let v = s.victim(lo, hi);
+        prop_assert!((lo..hi).contains(&v));
+    }
+
+    /// LRU never evicts the most recently touched way.
+    #[test]
+    fn lru_protects_mru(touches in proptest::collection::vec(0usize..8, 2..100)) {
+        let mut s = ReplState::new(ReplKind::Lru, 8);
+        for &w in &touches {
+            s.on_hit(w);
+        }
+        let mru = *touches.last().unwrap();
+        prop_assert_ne!(s.victim(0, 8), mru);
+    }
+
+    /// A cache never holds the same line twice and never exceeds capacity.
+    #[test]
+    fn cache_no_duplicates(lines in proptest::collection::vec(0u64..512, 1..400)) {
+        let mut c = Cache::new(CacheConfig {
+            name: "T",
+            size_bytes: 64 * 64, // 16 sets x 4 ways... 64 lines
+            ways: 4,
+            hit_latency: 1,
+            repl: ReplKind::Lru,
+            mshrs: 4,
+        });
+        for &l in &lines {
+            let line = Line(l);
+            if !c.access(line, false).hit {
+                c.fill(demand_line(line, false));
+            }
+            prop_assert!(c.occupancy() <= 64);
+        }
+        // Re-probing every resident line must hit exactly once per probe.
+        for &l in &lines {
+            let line = Line(l);
+            if c.contains(line) {
+                prop_assert!(c.access(line, false).hit);
+            }
+        }
+    }
+
+    /// Demand accesses through the full hierarchy always terminate with a
+    /// bounded latency, and immediate re-access is at least as fast.
+    #[test]
+    fn hierarchy_latency_bounded_and_warming(
+        addrs in proptest::collection::vec(0u64..1 << 22, 1..150),
+    ) {
+        let mut h = Hierarchy::new(&SystemConfig::isca25());
+        let mut now = 0u64;
+        for &a in &addrs {
+            let first = h.demand_access(Pc(1), Line(a), false, now);
+            prop_assert!(first.latency < 10_000, "latency blew up: {}", first.latency);
+            now += first.latency + 1_000;
+            let again = h.demand_access(Pc(1), Line(a), false, now);
+            prop_assert!(again.latency <= first.latency);
+            prop_assert!(again.l1_hit, "immediate re-access must hit L1");
+            now += 10;
+        }
+    }
+
+    /// Bloom distinct estimates never exceed the number of inserts and
+    /// never undercount by more than the false-positive slack.
+    #[test]
+    fn bloom_estimate_bounds(items in proptest::collection::hash_set(0u64..1 << 24, 1..300)) {
+        let mut b = CountingBloom::new(1 << 13, 3);
+        for &x in &items {
+            b.insert(x);
+        }
+        let est = b.distinct_estimate();
+        prop_assert!(est <= items.len() as u64);
+        prop_assert!(est as f64 >= 0.9 * items.len() as f64, "{est} vs {}", items.len());
+    }
+}

@@ -1,0 +1,88 @@
+//! Saturating confidence counters (PatternConf / ReuseConf are 4-bit
+//! saturating counters in Triangel; Prophet's MVB uses 2-bit counters).
+
+/// A saturating up/down counter with a configurable bit width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SatCounter {
+    /// Creates a counter of `bits` width starting at `initial` (clamped).
+    ///
+    /// # Panics
+    /// Panics if `bits` is zero or greater than 8.
+    pub fn new(bits: u8, initial: u8) -> Self {
+        assert!((1..=8).contains(&bits), "counter width must be 1..=8 bits");
+        let max = if bits == 8 { u8::MAX } else { (1 << bits) - 1 };
+        SatCounter {
+            value: initial.min(max),
+            max,
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// Maximum representable value.
+    pub fn max(&self) -> u8 {
+        self.max
+    }
+
+    /// Increments, saturating at the top.
+    pub fn inc(&mut self) {
+        self.value = (self.value + 1).min(self.max);
+    }
+
+    /// Decrements, saturating at zero.
+    pub fn dec(&mut self) {
+        self.value = self.value.saturating_sub(1);
+    }
+
+    /// Whether the counter is at or above `threshold`.
+    pub fn at_least(&self, threshold: u8) -> bool {
+        self.value >= threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_both_ends() {
+        let mut c = SatCounter::new(4, 15);
+        c.inc();
+        assert_eq!(c.value(), 15);
+        for _ in 0..20 {
+            c.dec();
+        }
+        assert_eq!(c.value(), 0);
+        c.dec();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn four_bit_range() {
+        let c = SatCounter::new(4, 200);
+        assert_eq!(c.value(), 15, "initial value clamps to the max");
+        assert_eq!(c.max(), 15);
+    }
+
+    #[test]
+    fn threshold_check() {
+        let mut c = SatCounter::new(4, 8);
+        assert!(c.at_least(8));
+        c.dec();
+        assert!(!c.at_least(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn zero_bits_rejected() {
+        let _ = SatCounter::new(0, 0);
+    }
+}

@@ -1,0 +1,632 @@
+//! The compressed on-chip Markov metadata table.
+//!
+//! Format per the paper (Section 3.1): the table lives in reserved LLC ways;
+//! each 64-byte cache line packs **12 compressed entries**, each a **10-bit
+//! tag** plus a **31-bit target address**. With the Table 1 LLC (2048 sets),
+//! one reserved way holds 2048 × 12 = 24,576 entries and the 1 MB maximum
+//! (8 ways) holds 196,608 entries (Section 5.10).
+//!
+//! Replacement is pluggable:
+//!
+//! * the *runtime* policies (LRU for the simplified profiling prefetcher,
+//!   SRRIP for Triangel, Hawkeye-style for Triage), and
+//! * Prophet's two-stage scheme — victim candidates are the entries at the
+//!   **lowest priority level** (from the per-PC hints, Eq. 2) and the runtime
+//!   policy (LRU) picks among the candidates (Section 4.2).
+
+use prophet_prefetch::MetaTableStats;
+use prophet_sim_mem::addr::{Line, Pc};
+use std::collections::HashMap;
+
+/// Entries packed into one 64-byte metadata line (paper: 12).
+pub const ENTRIES_PER_LINE: usize = 12;
+
+/// Tag width in bits (paper: 10).
+pub const TAG_BITS: u32 = 10;
+
+/// Target-address width in bits (paper: 31). Workload generators keep line
+/// addresses below 2³¹ so the compressed form is exact.
+pub const TARGET_BITS: u32 = 31;
+
+/// Runtime replacement policy of the metadata table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaRepl {
+    /// True LRU (the simplified profiling configuration).
+    Lru,
+    /// SRRIP (Triangel, Section 2.1.2).
+    Srrip,
+    /// Hawkeye-style (original Triage).
+    Hawkeye,
+}
+
+/// One (valid) metadata entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    tag: u16,
+    target: u32,
+    /// Prophet priority level (Eq. 2); uniform when Prophet is disabled.
+    priority: u8,
+    /// Inserting PC (used for accuracy attribution in reports/tests).
+    pc: Pc,
+    rrpv: u8,
+    stamp: u64,
+    valid: bool,
+}
+
+impl Slot {
+    const EMPTY: Slot = Slot {
+        tag: 0,
+        target: 0,
+        priority: 0,
+        pc: Pc(0),
+        rrpv: 3,
+        stamp: 0,
+        valid: false,
+    };
+}
+
+/// An entry pushed out of the table (by replacement, a target overwrite, or
+/// a resize). The Multi-path Victim Buffer consumes these (Section 4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedMeta {
+    /// Stable identifier of the *source* address: `(tag << set_bits) | set`.
+    /// The same key is computed from any lookup line via
+    /// [`MetadataTable::key_of`], so the MVB can be indexed consistently.
+    pub key: u64,
+    /// The Markov target the evicted entry predicted.
+    pub target: Line,
+    /// The entry's Prophet priority level at eviction time.
+    pub priority: u8,
+}
+
+/// Result of an insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// A fresh entry was allocated into an empty slot.
+    Allocated,
+    /// A fresh entry displaced a valid entry (returned).
+    Replaced(EvictedMeta),
+    /// An entry for the same source existed; its target was overwritten.
+    /// The *old* target is returned — this is the multi-target case the MVB
+    /// captures (sequence (A,B,C) vs (A,B,D), Section 4.5).
+    UpdatedTarget(EvictedMeta),
+    /// An entry for the same source already mapped to the same target.
+    Unchanged,
+}
+
+/// Geometry of the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaTableConfig {
+    /// Sets (must equal the LLC's set count for the way-sharing story).
+    pub sets: usize,
+    /// Maximum ways the table may occupy (8 = 1 MB).
+    pub max_ways: usize,
+    /// Runtime replacement policy.
+    pub repl: MetaRepl,
+    /// When true, victim selection first restricts candidates to the lowest
+    /// priority level present (Prophet's replacement policy).
+    pub priority_replacement: bool,
+}
+
+impl Default for MetaTableConfig {
+    fn default() -> Self {
+        MetaTableConfig {
+            sets: 2048,
+            max_ways: 8,
+            repl: MetaRepl::Srrip,
+            priority_replacement: false,
+        }
+    }
+}
+
+/// The Markov metadata table.
+#[derive(Debug, Clone)]
+pub struct MetadataTable {
+    cfg: MetaTableConfig,
+    ways: usize,
+    slots: Vec<Slot>,
+    clock: u64,
+    stats: MetaTableStats,
+    /// Fresh-entry allocations attributed to the inserting PC (profiling
+    /// diagnostics: which instruction floods the table).
+    insertions_by_pc: HashMap<u64, u64>,
+    set_bits: u32,
+}
+
+impl MetadataTable {
+    /// Creates the table occupying `ways` LLC ways initially.
+    ///
+    /// # Panics
+    /// Panics if geometry is invalid (`sets` not a power of two, `ways`
+    /// exceeding `max_ways`).
+    pub fn new(cfg: MetaTableConfig, ways: usize) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways <= cfg.max_ways, "initial ways exceed the maximum");
+        MetadataTable {
+            slots: vec![Slot::EMPTY; cfg.sets * cfg.max_ways * ENTRIES_PER_LINE],
+            ways,
+            clock: 0,
+            stats: MetaTableStats::default(),
+            insertions_by_pc: HashMap::new(),
+            set_bits: cfg.sets.trailing_zeros(),
+            cfg,
+        }
+    }
+
+    /// Current ways occupied.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Entry capacity at the current size.
+    pub fn capacity(&self) -> usize {
+        self.cfg.sets * self.ways * ENTRIES_PER_LINE
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> MetaTableStats {
+        self.stats
+    }
+
+    /// Counts a training pair rejected by an insertion policy (kept here so
+    /// all metadata accounting lives in one place).
+    pub fn note_rejected_insertion(&mut self) {
+        self.stats.rejected_insertions += 1;
+    }
+
+    /// Fresh-entry allocations per inserting PC.
+    pub fn insertions_by_pc(&self) -> &HashMap<u64, u64> {
+        &self.insertions_by_pc
+    }
+
+    /// Number of valid entries (O(capacity); reports/tests only).
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.valid).count()
+    }
+
+    /// Histogram of per-set valid-entry counts (diagnostics): returns
+    /// (min, mean, max) occupancy over sets.
+    pub fn set_occupancy_stats(&self) -> (usize, f64, usize) {
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut total = 0usize;
+        for set in 0..self.cfg.sets {
+            let n = self.slots[self.set_range(set)]
+                .iter()
+                .filter(|s| s.valid)
+                .count();
+            min = min.min(n);
+            max = max.max(n);
+            total += n;
+        }
+        (min, total as f64 / self.cfg.sets as f64, max)
+    }
+
+    #[inline]
+    fn set_of(&self, line: Line) -> usize {
+        (line.0 as usize) & (self.cfg.sets - 1)
+    }
+
+    #[inline]
+    fn tag_of(&self, line: Line) -> u16 {
+        ((line.0 >> self.set_bits) & ((1 << TAG_BITS) - 1)) as u16
+    }
+
+    /// The stable MVB key of a source line: `(tag << set_bits) | set`.
+    pub fn key_of(&self, line: Line) -> u64 {
+        ((self.tag_of(line) as u64) << self.set_bits) | (self.set_of(line) as u64)
+    }
+
+    fn entries_per_set(&self) -> usize {
+        self.ways * ENTRIES_PER_LINE
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let stride = self.cfg.max_ways * ENTRIES_PER_LINE;
+        let base = set * stride;
+        base..base + self.entries_per_set()
+    }
+
+    /// Pure lookup: the recorded target for `line` without touching
+    /// replacement state or counters (used by PatternConf verification —
+    /// checking whether a stored correlation *would have been* useful must
+    /// not refresh it).
+    pub fn peek(&self, line: Line) -> Option<Line> {
+        if self.ways == 0 {
+            return None;
+        }
+        let tag = self.tag_of(line);
+        let range = self.set_range(self.set_of(line));
+        self.slots[range]
+            .iter()
+            .find(|s| s.valid && s.tag == tag)
+            .map(|s| Line(s.target as u64))
+    }
+
+    /// Looks up the Markov target recorded for `line`, refreshing the
+    /// entry's replacement state on a hit.
+    pub fn lookup(&mut self, line: Line) -> Option<Line> {
+        if self.ways == 0 {
+            return None;
+        }
+        self.stats.lookups += 1;
+        let tag = self.tag_of(line);
+        let range = self.set_range(self.set_of(line));
+        self.clock += 1;
+        let clock = self.clock;
+        for slot in &mut self.slots[range] {
+            if slot.valid && slot.tag == tag {
+                slot.rrpv = 0;
+                slot.stamp = clock;
+                self.stats.hits += 1;
+                return Some(Line(slot.target as u64));
+            }
+        }
+        None
+    }
+
+    /// Records the correlation `src → target` inserted by `pc` at priority
+    /// level `priority`.
+    ///
+    /// # Panics
+    /// Panics if `target` does not fit the 31-bit compressed form.
+    pub fn insert(&mut self, src: Line, target: Line, pc: Pc, priority: u8) -> InsertOutcome {
+        assert!(
+            target.0 < (1 << TARGET_BITS),
+            "target line {target} exceeds the 31-bit compressed format"
+        );
+        if self.ways == 0 {
+            return InsertOutcome::Unchanged;
+        }
+        let tag = self.tag_of(src);
+        let key = self.key_of(src);
+        let set = self.set_of(src);
+        let range = self.set_range(set);
+        self.clock += 1;
+        let clock = self.clock;
+
+        // Same-source entry present → update its target in place.
+        if let Some(slot) = self.slots[range.clone()]
+            .iter_mut()
+            .find(|s| s.valid && s.tag == tag)
+        {
+            if slot.target as u64 == target.0 {
+                slot.stamp = clock;
+                slot.rrpv = 0;
+                return InsertOutcome::Unchanged;
+            }
+            let old = EvictedMeta {
+                key,
+                target: Line(slot.target as u64),
+                priority: slot.priority,
+            };
+            slot.target = target.0 as u32;
+            slot.priority = priority;
+            slot.pc = pc;
+            slot.stamp = clock;
+            slot.rrpv = 0;
+            return InsertOutcome::UpdatedTarget(old);
+        }
+
+        self.stats.insertions += 1;
+        *self.insertions_by_pc.entry(pc.0).or_insert(0) += 1;
+        let fresh = Slot {
+            tag,
+            target: target.0 as u32,
+            priority,
+            pc,
+            rrpv: 2,
+            stamp: clock,
+            valid: true,
+        };
+
+        // Empty slot?
+        if let Some(slot) = self.slots[range.clone()].iter_mut().find(|s| !s.valid) {
+            *slot = fresh;
+            return InsertOutcome::Allocated;
+        }
+
+        // Replacement.
+        self.stats.replacements += 1;
+        let victim_idx = self.pick_victim(range.clone());
+        let victim = &mut self.slots[victim_idx];
+        let evicted = EvictedMeta {
+            key: ((victim.tag as u64) << self.set_bits) | set as u64,
+            target: Line(victim.target as u64),
+            priority: victim.priority,
+        };
+        *victim = fresh;
+        InsertOutcome::Replaced(evicted)
+    }
+
+    fn pick_victim(&mut self, range: std::ops::Range<usize>) -> usize {
+        // Prophet stage: restrict candidates to the lowest priority level.
+        let min_priority = if self.cfg.priority_replacement {
+            self.slots[range.clone()]
+                .iter()
+                .map(|s| s.priority)
+                .min()
+                .expect("non-empty set")
+        } else {
+            0
+        };
+        let candidate = |s: &Slot| !self.cfg.priority_replacement || s.priority == min_priority;
+
+        match self.cfg.repl {
+            MetaRepl::Lru => {
+                let base = range.start;
+                self.slots[range]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| candidate(s))
+                    .min_by_key(|(_, s)| s.stamp)
+                    .map(|(i, _)| base + i)
+                    .expect("at least one candidate")
+            }
+            MetaRepl::Srrip | MetaRepl::Hawkeye => {
+                // Age candidates until one reaches the distant RRPV; Hawkeye
+                // behaves like SRRIP here (its OPT training happens at
+                // insertion priority in our reduction).
+                loop {
+                    let base = range.start;
+                    if let Some(i) = self.slots[range.clone()]
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| candidate(s))
+                        .find(|(_, s)| s.rrpv >= 3)
+                        .map(|(i, _)| base + i)
+                    {
+                        return i;
+                    }
+                    for s in &mut self.slots[range.clone()] {
+                        if s.valid {
+                            s.rrpv = (s.rrpv + 1).min(3);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resizes the table to `ways`, returning entries evicted from
+    /// deactivated regions.
+    ///
+    /// # Panics
+    /// Panics if `ways > max_ways`.
+    pub fn resize(&mut self, ways: usize) -> Vec<EvictedMeta> {
+        assert!(ways <= self.cfg.max_ways, "resize beyond max ways");
+        let mut evicted = Vec::new();
+        if ways < self.ways {
+            let new_per_set = ways * ENTRIES_PER_LINE;
+            for set in 0..self.cfg.sets {
+                let range = self.set_range(set);
+                let (keep, drop) = (range.start + new_per_set, range.end);
+                for idx in keep..drop {
+                    let s = self.slots[idx];
+                    if s.valid {
+                        evicted.push(EvictedMeta {
+                            key: ((s.tag as u64) << self.set_bits) | set as u64,
+                            target: Line(s.target as u64),
+                            priority: s.priority,
+                        });
+                        self.slots[idx] = Slot::EMPTY;
+                    }
+                }
+            }
+        }
+        self.ways = ways;
+        evicted
+    }
+
+    /// Clears contents and counters (profiling restarts).
+    pub fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = Slot::EMPTY);
+        self.stats = MetaTableStats::default();
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(ways: usize) -> MetadataTable {
+        MetadataTable::new(
+            MetaTableConfig {
+                sets: 16,
+                max_ways: 8,
+                repl: MetaRepl::Lru,
+                priority_replacement: false,
+            },
+            ways,
+        )
+    }
+
+    #[test]
+    fn geometry_capacity() {
+        let t = table(8);
+        assert_eq!(t.capacity(), 16 * 8 * 12);
+        assert_eq!(table(1).capacity(), 16 * 12);
+    }
+
+    #[test]
+    fn insert_then_lookup() {
+        let mut t = table(2);
+        assert_eq!(
+            t.insert(Line(100), Line(200), Pc(1), 1),
+            InsertOutcome::Allocated
+        );
+        assert_eq!(t.lookup(Line(100)), Some(Line(200)));
+        assert_eq!(t.lookup(Line(101)), None);
+        let s = t.stats();
+        assert_eq!(s.insertions, 1);
+        assert_eq!((s.lookups, s.hits), (2, 1));
+    }
+
+    #[test]
+    fn update_target_returns_old_target() {
+        let mut t = table(2);
+        t.insert(Line(100), Line(200), Pc(1), 1);
+        match t.insert(Line(100), Line(300), Pc(1), 2) {
+            InsertOutcome::UpdatedTarget(old) => {
+                assert_eq!(old.target, Line(200));
+                assert_eq!(old.priority, 1);
+            }
+            other => panic!("expected UpdatedTarget, got {other:?}"),
+        }
+        assert_eq!(t.lookup(Line(100)), Some(Line(300)));
+        assert_eq!(t.stats().insertions, 1, "in-place update is not an allocation");
+    }
+
+    #[test]
+    fn same_pair_is_unchanged() {
+        let mut t = table(2);
+        t.insert(Line(100), Line(200), Pc(1), 1);
+        assert_eq!(
+            t.insert(Line(100), Line(200), Pc(1), 1),
+            InsertOutcome::Unchanged
+        );
+    }
+
+    #[test]
+    fn replacement_when_set_full() {
+        let mut t = table(1); // 12 entries per set
+        // Fill set 0 with 12 distinct sources (stride = sets).
+        for i in 0..12u64 {
+            let out = t.insert(Line(i * 16), Line(1000 + i), Pc(1), 1);
+            assert_eq!(out, InsertOutcome::Allocated);
+        }
+        match t.insert(Line(12 * 16), Line(2000), Pc(1), 1) {
+            InsertOutcome::Replaced(ev) => {
+                // LRU victim is the first inserted source (line 0).
+                assert_eq!(ev.target, Line(1000));
+            }
+            other => panic!("expected Replaced, got {other:?}"),
+        }
+        assert_eq!(t.stats().replacements, 1);
+        assert_eq!(t.stats().allocated_entries(), 12);
+    }
+
+    #[test]
+    fn priority_replacement_prefers_low_levels() {
+        let mut t = MetadataTable::new(
+            MetaTableConfig {
+                sets: 16,
+                max_ways: 8,
+                repl: MetaRepl::Lru,
+                priority_replacement: true,
+            },
+            1,
+        );
+        // 11 high-priority entries, then one low-priority entry (most
+        // recently inserted!), then overflow.
+        for i in 0..11u64 {
+            t.insert(Line(i * 16), Line(100 + i), Pc(1), 3);
+        }
+        t.insert(Line(11 * 16), Line(500), Pc(1), 0);
+        match t.insert(Line(12 * 16), Line(600), Pc(1), 3) {
+            InsertOutcome::Replaced(ev) => {
+                assert_eq!(
+                    ev.target,
+                    Line(500),
+                    "lowest-priority entry must be the victim even though it is the newest"
+                );
+                assert_eq!(ev.priority, 0);
+            }
+            other => panic!("expected Replaced, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lru_within_priority_class() {
+        let mut t = MetadataTable::new(
+            MetaTableConfig {
+                sets: 16,
+                max_ways: 8,
+                repl: MetaRepl::Lru,
+                priority_replacement: true,
+            },
+            1,
+        );
+        for i in 0..12u64 {
+            t.insert(Line(i * 16), Line(100 + i), Pc(1), 2);
+        }
+        // Touch all but source 3 so source 3 becomes LRU.
+        for i in 0..12u64 {
+            if i != 3 {
+                t.lookup(Line(i * 16));
+            }
+        }
+        match t.insert(Line(12 * 16), Line(999), Pc(1), 2) {
+            InsertOutcome::Replaced(ev) => assert_eq!(ev.target, Line(103)),
+            other => panic!("expected Replaced, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resize_evicts_and_shrinks_capacity() {
+        let mut t = table(2);
+        for i in 0..24u64 {
+            t.insert(Line(i * 16), Line(100 + i), Pc(1), 1);
+        }
+        assert_eq!(t.occupancy(), 24);
+        let evicted = t.resize(1);
+        assert_eq!(t.ways(), 1);
+        assert_eq!(evicted.len(), 12, "half the entries were deactivated");
+        assert_eq!(t.occupancy(), 12);
+    }
+
+    #[test]
+    fn zero_ways_disables_table() {
+        let mut t = table(0);
+        assert_eq!(t.insert(Line(1), Line(2), Pc(1), 1), InsertOutcome::Unchanged);
+        assert_eq!(t.lookup(Line(1)), None);
+        assert_eq!(t.stats().lookups, 0, "disabled table performs no lookups");
+    }
+
+    #[test]
+    fn key_is_stable_between_insert_and_lookup_paths() {
+        let t = table(2);
+        let line = Line(0x3_1234);
+        let k1 = t.key_of(line);
+        let k2 = t.key_of(line);
+        assert_eq!(k1, k2);
+        // Different lines with the same set+tag alias to the same key (the
+        // compressed format is lossy by design).
+        let aliased = Line(line.0 + (1 << (TAG_BITS + 4 /*set bits for 16 sets*/)));
+        assert_eq!(t.key_of(aliased), k1);
+    }
+
+    #[test]
+    #[should_panic(expected = "31-bit")]
+    fn oversized_target_rejected() {
+        let mut t = table(1);
+        t.insert(Line(0), Line(1 << 31), Pc(1), 0);
+    }
+
+    #[test]
+    fn srrip_mode_replaces_unreused_entries() {
+        let mut t = MetadataTable::new(
+            MetaTableConfig {
+                sets: 16,
+                max_ways: 8,
+                repl: MetaRepl::Srrip,
+                priority_replacement: false,
+            },
+            1,
+        );
+        for i in 0..12u64 {
+            t.insert(Line(i * 16), Line(100 + i), Pc(1), 1);
+        }
+        // Reuse everything except source 5.
+        for i in 0..12u64 {
+            if i != 5 {
+                t.lookup(Line(i * 16));
+            }
+        }
+        match t.insert(Line(12 * 16), Line(999), Pc(1), 1) {
+            InsertOutcome::Replaced(ev) => assert_eq!(ev.target, Line(105)),
+            other => panic!("expected Replaced, got {other:?}"),
+        }
+    }
+}

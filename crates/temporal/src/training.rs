@@ -1,0 +1,188 @@
+//! The training unit: PC-localized last-address tracking.
+//!
+//! Temporal prefetchers in the Triage/Triangel lineage are PC-localized: for
+//! each memory instruction they remember the last address it touched, and a
+//! new access `cur` forms the training pair `(last → cur)` to be inserted
+//! into the Markov metadata table (Figure 3).
+//!
+//! This module also provides [`MarkovCensus`], the offline counter of
+//! distinct Markov targets per address used to reproduce Figure 8.
+
+use prophet_sim_mem::addr::{Line, Pc};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TrainEntry {
+    tag: u64,
+    last: Line,
+    valid: bool,
+}
+
+/// Direct-mapped per-PC last-address table.
+#[derive(Debug, Clone)]
+pub struct TrainingUnit {
+    entries: Vec<TrainEntry>,
+}
+
+impl TrainingUnit {
+    /// Creates a training table with `entries` slots (rounded to a power of
+    /// two).
+    pub fn new(entries: usize) -> Self {
+        TrainingUnit {
+            entries: vec![TrainEntry::default(); entries.next_power_of_two().max(1)],
+        }
+    }
+
+    /// Observes `(pc, line)`; returns the training pair `(prev → line)` when
+    /// the PC has history (and `prev != line`).
+    pub fn observe(&mut self, pc: Pc, line: Line) -> Option<(Line, Line)> {
+        let idx = (pc.0 as usize) & (self.entries.len() - 1);
+        let e = &mut self.entries[idx];
+        if !e.valid || e.tag != pc.0 {
+            *e = TrainEntry {
+                tag: pc.0,
+                last: line,
+                valid: true,
+            };
+            return None;
+        }
+        let prev = e.last;
+        e.last = line;
+        if prev == line {
+            None
+        } else {
+            Some((prev, line))
+        }
+    }
+
+    /// Forgets all history.
+    pub fn clear(&mut self) {
+        self.entries.iter_mut().for_each(|e| e.valid = false);
+    }
+}
+
+impl Default for TrainingUnit {
+    fn default() -> Self {
+        Self::new(256)
+    }
+}
+
+/// Offline census of Markov-target multiplicity (Figure 8): for every
+/// address, how many *distinct* successors follow it in a PC-localized
+/// stream. Feed it the same pairs the training unit produces.
+#[derive(Debug, Clone, Default)]
+pub struct MarkovCensus {
+    successors: HashMap<Line, Vec<Line>>,
+    cap: usize,
+}
+
+impl MarkovCensus {
+    /// Creates a census tracking up to `cap` distinct targets per address
+    /// (Figure 8 plots T = 1..=5; anything above is counted in the last bin).
+    pub fn new(cap: usize) -> Self {
+        MarkovCensus {
+            successors: HashMap::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Records that `target` followed `src`.
+    pub fn record(&mut self, src: Line, target: Line) {
+        let v = self.successors.entry(src).or_default();
+        if !v.contains(&target) && v.len() < self.cap {
+            v.push(target);
+        }
+    }
+
+    /// Histogram over target counts: `hist[t-1]` = fraction of addresses
+    /// with exactly `t` distinct targets (t clamped to `cap`). Empty census
+    /// returns all zeros.
+    pub fn histogram(&self) -> Vec<f64> {
+        let mut counts = vec![0u64; self.cap];
+        for v in self.successors.values() {
+            let t = v.len().clamp(1, self.cap);
+            counts[t - 1] += 1;
+        }
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.cap];
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Number of distinct source addresses seen.
+    pub fn sources(&self) -> usize {
+        self.successors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_yields_no_pair() {
+        let mut t = TrainingUnit::default();
+        assert_eq!(t.observe(Pc(1), Line(10)), None);
+        assert_eq!(t.observe(Pc(1), Line(20)), Some((Line(10), Line(20))));
+        assert_eq!(t.observe(Pc(1), Line(30)), Some((Line(20), Line(30))));
+    }
+
+    #[test]
+    fn pcs_are_independent_streams() {
+        let mut t = TrainingUnit::default();
+        t.observe(Pc(1), Line(10));
+        t.observe(Pc(2), Line(100));
+        assert_eq!(t.observe(Pc(1), Line(11)), Some((Line(10), Line(11))));
+        assert_eq!(t.observe(Pc(2), Line(101)), Some((Line(100), Line(101))));
+    }
+
+    #[test]
+    fn repeated_line_is_filtered() {
+        let mut t = TrainingUnit::default();
+        t.observe(Pc(1), Line(10));
+        assert_eq!(t.observe(Pc(1), Line(10)), None);
+    }
+
+    #[test]
+    fn conflict_eviction_resets_history() {
+        let mut t = TrainingUnit::new(1);
+        t.observe(Pc(0), Line(10));
+        t.observe(Pc(1), Line(99)); // evicts PC 0's entry
+        assert_eq!(t.observe(Pc(0), Line(11)), None, "history was lost");
+    }
+
+    #[test]
+    fn census_counts_distinct_targets() {
+        let mut c = MarkovCensus::new(5);
+        // A→B repeatedly, B→{C,D}.
+        for _ in 0..3 {
+            c.record(Line(1), Line(2));
+        }
+        c.record(Line(2), Line(3));
+        c.record(Line(2), Line(4));
+        let h = c.histogram();
+        assert!((h[0] - 0.5).abs() < 1e-12, "half the sources have 1 target");
+        assert!((h[1] - 0.5).abs() < 1e-12, "half the sources have 2 targets");
+        assert_eq!(c.sources(), 2);
+    }
+
+    #[test]
+    fn census_caps_target_count() {
+        let mut c = MarkovCensus::new(3);
+        for t in 0..10u64 {
+            c.record(Line(1), Line(100 + t));
+        }
+        let h = c.histogram();
+        assert!((h[2] - 1.0).abs() < 1e-12, "over-cap counts clamp to the last bin");
+    }
+
+    #[test]
+    fn empty_census_histogram_is_zero() {
+        let c = MarkovCensus::new(5);
+        assert_eq!(c.histogram(), vec![0.0; 5]);
+    }
+}

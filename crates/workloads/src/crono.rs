@@ -1,0 +1,366 @@
+//! CRONO graph-workload kernels (Figure 15).
+//!
+//! The CRONO suite's kernels are implemented over the synthetic clustered
+//! graphs of [`crate::graph`], and the *trace of the traversal itself* is
+//! emitted: offset-array loads (strided kernel), edge-array loads
+//! (sequential stream) and per-vertex data loads (indirect, dependent on
+//! the edge load). Kernels run several times per trace (repeated queries /
+//! iterations), which is what gives the per-vertex loads their temporal
+//! pattern.
+//!
+//! Workload names follow the paper's Figure 15 labels, e.g.
+//! `bfs_100000_16`, `pagerank_100000_100`, `sssp_100000_5`. Parameters are
+//! scaled down (documented in DESIGN.md) to keep laptop-scale trace
+//! lengths; the first field scales vertex count, the second degree.
+
+use crate::graph::Graph;
+use prophet_sim_core::trace::{TraceInst, TraceSource};
+use prophet_sim_mem::addr::{Addr, Pc};
+
+/// The nine CRONO workload instances of Figure 15.
+pub const CRONO_WORKLOADS: [&str; 9] = [
+    "bc_40000_10",
+    "bc_56384_8",
+    "bfs_100000_16",
+    "bfs_80000_8",
+    "bfs_90000_10",
+    "dfs_800000_800",
+    "dfs_900000_400",
+    "pagerank_100000_100",
+    "sssp_100000_5",
+];
+
+/// Which graph kernel a CRONO workload runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CronoKernel {
+    Bfs,
+    Dfs,
+    PageRank,
+    Sssp,
+    Bc,
+}
+
+/// A parsed CRONO workload instance.
+#[derive(Debug, Clone)]
+pub struct CronoSpec {
+    pub name: String,
+    pub kernel: CronoKernel,
+    pub vertices: usize,
+    pub degree: usize,
+    pub seed: u64,
+    /// Traversals / iterations per trace.
+    pub repeats: usize,
+}
+
+// Memory layout (line addresses). Per-vertex data is 4 bytes (rank /
+// distance), so 16 vertices share a line — with sorted, local adjacency
+// lists the line-level successor stream is stable, which is what real
+// address-correlating prefetchers exploit on graphs. Offsets/edges pack 16
+// u32 values per 64-byte line.
+const OFFSETS_BASE: u64 = 0x0100_0000;
+const EDGES_BASE: u64 = 0x0200_0000;
+const DATA_BASE: u64 = 0x0400_0000;
+
+const PC_OFFSETS: u64 = 0x9_00;
+const PC_EDGES: u64 = 0x9_01;
+const PC_DATA: u64 = 0x9_02;
+const PC_AUX: u64 = 0x9_03;
+
+/// Parses a Figure 15 workload label into a runnable spec.
+///
+/// # Panics
+/// Panics on a malformed name or unknown kernel.
+pub fn crono_workload(name: &str) -> CronoSpec {
+    let parts: Vec<&str> = name.split('_').collect();
+    assert!(parts.len() == 3, "CRONO name must be kernel_size_param: {name}");
+    let kernel = match parts[0] {
+        "bfs" => CronoKernel::Bfs,
+        "dfs" => CronoKernel::Dfs,
+        "pagerank" => CronoKernel::PageRank,
+        "sssp" => CronoKernel::Sssp,
+        "bc" => CronoKernel::Bc,
+        other => panic!("unknown CRONO kernel: {other}"),
+    };
+    let p1: usize = parts[1].parse().expect("numeric size parameter");
+    let p2: usize = parts[2].parse().expect("numeric second parameter");
+    // Scale the paper's sizes to laptop-scale traces (DESIGN.md §2): big
+    // graphs (the array footprints must exceed the LLC) traversed over a
+    // fixed 60k-vertex slice per pass — the SimPoint of the traversal.
+    let vertices = (p1 * 2).clamp(200_000, 400_000);
+    let degree = p2.clamp(4, 8);
+    let spec = CronoSpec {
+        name: name.to_string(),
+        kernel,
+        vertices,
+        degree,
+        seed: 0xC0_50 ^ (p1 as u64) ^ ((p2 as u64) << 20),
+        repeats: 2,
+    };
+    spec
+}
+
+impl CronoSpec {
+    fn graph(&self) -> Graph {
+        Graph::clustered(self.vertices, self.degree, self.seed)
+    }
+
+    /// Generates the full trace.
+    pub fn build(&self) -> Vec<TraceInst> {
+        let g = self.graph();
+        let mut t = TraceBuilder::default();
+        for rep in 0..self.repeats {
+            match self.kernel {
+                CronoKernel::Bfs => bfs(&g, &mut t, rep),
+                CronoKernel::Dfs => dfs(&g, &mut t, rep),
+                CronoKernel::PageRank => pagerank(&g, &mut t),
+                CronoKernel::Sssp => sssp(&g, &mut t),
+                CronoKernel::Bc => {
+                    bfs(&g, &mut t, rep);
+                    backward_sweep(&g, &mut t);
+                }
+            }
+        }
+        t.insts
+    }
+}
+
+impl TraceSource for CronoSpec {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn stream(&self) -> Box<dyn Iterator<Item = TraceInst> + '_> {
+        Box::new(self.build().into_iter())
+    }
+}
+
+/// Builds the instruction trace with correct dependency distances.
+#[derive(Default)]
+struct TraceBuilder {
+    insts: Vec<TraceInst>,
+    last_load: Option<usize>,
+}
+
+impl TraceBuilder {
+    fn load(&mut self, pc: u64, line: u64, depends_on_prev: bool) {
+        let dep_back = if depends_on_prev {
+            self.last_load.and_then(|li| {
+                let gap = self.insts.len() - li;
+                (gap <= 280).then_some(gap as u32)
+            })
+        } else {
+            None
+        };
+        let idx = self.insts.len();
+        self.insts.push(TraceInst {
+            pc: Pc(pc),
+            op: Some(prophet_sim_core::trace::MemOp::Load(Addr(line * 64))),
+            dep_back,
+        });
+        self.last_load = Some(idx);
+    }
+
+    fn store(&mut self, pc: u64, line: u64) {
+        self.insts.push(TraceInst::store(Pc(pc), Addr(line * 64)));
+    }
+
+    fn alu(&mut self, pc: u64, n: usize) {
+        for _ in 0..n {
+            self.insts.push(TraceInst::op(Pc(pc)));
+        }
+    }
+
+    /// Emits the per-edge access triple shared by all kernels: the edge
+    /// array element (streaming), then the neighbour's data line (indirect,
+    /// dependent on the edge load).
+    fn visit_edge(&mut self, edge_idx: usize, v: u32) {
+        self.load(PC_EDGES, EDGES_BASE + (edge_idx as u64) / 16, false);
+        self.load(PC_DATA, DATA_BASE + (v as u64) / 16, true);
+        self.alu(PC_DATA, 1);
+    }
+
+    fn visit_vertex_header(&mut self, u: usize) {
+        // offsets[u] and offsets[u+1]: a clean stride kernel.
+        self.load(PC_OFFSETS, OFFSETS_BASE + (u as u64) / 16, false);
+        self.alu(PC_OFFSETS, 1);
+    }
+}
+
+/// Vertices visited per traversal pass (the "SimPoint" of the kernel).
+const SLICE: usize = 40_000;
+
+fn bfs(g: &Graph, t: &mut TraceBuilder, rep: usize) {
+    // Repeated queries from the same source: the traversal (and thus the
+    // temporal pattern) repeats across runs.
+    let _ = rep;
+    let n = g.vertices();
+    let start = n / 2;
+    let mut visited = vec![false; n];
+    let mut frontier = vec![start];
+    visited[start] = true;
+    let mut budget = SLICE;
+    while let Some(u) = frontier.pop() {
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        t.visit_vertex_header(u);
+        let base = g.offsets[u] as usize;
+        for (k, &v) in g.neighbors(u).iter().enumerate() {
+            t.visit_edge(base + k, v);
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                t.store(PC_AUX, DATA_BASE + (v as u64) / 16);
+                frontier.insert(0, v as usize); // queue order
+            }
+        }
+    }
+}
+
+fn dfs(g: &Graph, t: &mut TraceBuilder, rep: usize) {
+    let _ = rep;
+    let n = g.vertices();
+    let start = n / 3;
+    let mut visited = vec![false; n];
+    let mut stack = vec![start];
+    visited[start] = true;
+    let mut budget = SLICE;
+    while let Some(u) = stack.pop() {
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        t.visit_vertex_header(u);
+        let base = g.offsets[u] as usize;
+        for (k, &v) in g.neighbors(u).iter().enumerate() {
+            t.visit_edge(base + k, v);
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                t.store(PC_AUX, DATA_BASE + (v as u64) / 16, );
+                stack.push(v as usize);
+            }
+        }
+    }
+}
+
+fn pagerank(g: &Graph, t: &mut TraceBuilder) {
+    // One power iteration over the slice: identical traversal order every
+    // call — the canonical temporal pattern.
+    for u in 0..SLICE.min(g.vertices()) {
+        t.visit_vertex_header(u);
+        let base = g.offsets[u] as usize;
+        for (k, &v) in g.neighbors(u).iter().enumerate() {
+            t.visit_edge(base + k, v);
+        }
+        t.store(PC_AUX, DATA_BASE + ((g.vertices() + u) as u64) / 16);
+    }
+}
+
+fn sssp(g: &Graph, t: &mut TraceBuilder) {
+    // One Bellman-Ford round over the slice's edges.
+    for u in 0..SLICE.min(g.vertices()) {
+        t.visit_vertex_header(u);
+        let base = g.offsets[u] as usize;
+        for (k, &v) in g.neighbors(u).iter().enumerate() {
+            t.visit_edge(base + k, v);
+            // dist[u] compare + conditional store.
+            if (u + k) % 4 == 0 {
+                t.store(PC_AUX, DATA_BASE + (v as u64) / 16, );
+            }
+        }
+    }
+}
+
+fn backward_sweep(g: &Graph, t: &mut TraceBuilder) {
+    // Brandes-style dependency accumulation: reverse order visit.
+    for u in (0..SLICE.min(g.vertices())).rev() {
+        t.visit_vertex_header(u);
+        let base = g.offsets[u] as usize;
+        for (k, &v) in g.neighbors(u).iter().enumerate() {
+            t.visit_edge(base + k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_figure15_workloads_parse_and_build() {
+        for name in CRONO_WORKLOADS {
+            let spec = crono_workload(name);
+            let trace = spec.build();
+            assert!(
+                trace.len() > 100_000,
+                "{name}: trace too short ({})",
+                trace.len()
+            );
+            assert!(
+                trace.len() < 6_000_000,
+                "{name}: trace too long ({})",
+                trace.len()
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_differ() {
+        let b = crono_workload("bfs_100000_16").build();
+        let p = crono_workload("pagerank_100000_100").build();
+        assert_ne!(b.len(), p.len());
+    }
+
+    #[test]
+    fn pagerank_iterations_repeat_the_data_stream() {
+        let spec = crono_workload("pagerank_100000_100");
+        let trace = spec.build();
+        let data_lines: Vec<u64> = trace
+            .iter()
+            .filter(|i| i.pc.0 == PC_DATA)
+            .filter_map(|i| i.op.map(|op| op.addr().line().0))
+            .collect();
+        let per_iter = data_lines.len() / spec.repeats;
+        assert_eq!(
+            &data_lines[0..per_iter],
+            &data_lines[per_iter..2 * per_iter],
+            "pagerank's indirect stream must repeat across iterations"
+        );
+    }
+
+    #[test]
+    fn indirect_loads_depend_on_edge_loads() {
+        let trace = crono_workload("sssp_100000_5").build();
+        let dependent = trace
+            .iter()
+            .filter(|i| i.pc.0 == PC_DATA && i.op.is_some() && i.dep_back.is_some())
+            .count();
+        let total = trace
+            .iter()
+            .filter(|i| i.pc.0 == PC_DATA && i.op.is_some())
+            .count();
+        assert!(
+            dependent as f64 > 0.95 * total as f64,
+            "indirect loads must chain: {dependent}/{total}"
+        );
+    }
+
+    #[test]
+    fn deterministic_builds() {
+        let a = crono_workload("bc_40000_10").build();
+        let b = crono_workload("bc_40000_10").build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown CRONO kernel")]
+    fn unknown_kernel_panics() {
+        let _ = crono_workload("floydwarshall_1_1");
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel_size_param")]
+    fn malformed_name_panics() {
+        let _ = crono_workload("bfs");
+    }
+}

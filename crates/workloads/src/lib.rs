@@ -1,0 +1,76 @@
+//! # prophet-workloads
+//!
+//! Synthetic workloads for the Prophet (ISCA'25) reproduction. SPEC binaries
+//! and the authors' SimPoint traces are not available, so every evaluated
+//! workload is substituted by a generator reproducing its memory behaviour
+//! (the substitution table lives in DESIGN.md §2):
+//!
+//! * [`patterns`] — per-PC access-behaviour primitives (temporal cycles,
+//!   interleaved bursts, multi-target sequences, streams, noise);
+//! * [`mix`] — the weighted interleaver with dependency fix-up;
+//! * [`spec`] — the named SPEC-like recipes (`mcf`, `omnetpp`, nine gcc
+//!   inputs, …);
+//! * [`graph`] / [`crono`] — clustered synthetic graphs and the CRONO
+//!   kernels (bfs/dfs/pagerank/sssp/bc) of Figure 15.
+//!
+//! # Example
+//!
+//! ```
+//! use prophet_workloads::workload;
+//! use prophet_sim_core::TraceSource;
+//!
+//! let mcf = workload("mcf");
+//! assert_eq!(mcf.name(), "mcf");
+//! assert!(mcf.stream().take(1_000).count() == 1_000);
+//! ```
+
+pub mod crono;
+pub mod graph;
+pub mod mix;
+pub mod patterns;
+pub mod spec;
+
+pub use crono::{crono_workload, CronoKernel, CronoSpec, CRONO_WORKLOADS};
+pub use graph::Graph;
+pub use mix::{MixSpec, MAX_DEP_BACK};
+pub use patterns::{PatternSpec, PatternState, ProtoInst};
+pub use spec::{spec_workload, GCC_INPUTS, SPEC_WORKLOADS, TRACE_INSTS};
+
+use prophet_sim_core::TraceSource;
+
+/// Looks up any workload used in the paper's evaluation by name — SPEC-like
+/// recipes (Figures 10–14, 16–19) or CRONO instances (Figure 15).
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn workload(name: &str) -> Box<dyn TraceSource> {
+    if CRONO_WORKLOADS.contains(&name)
+        || name.starts_with("bfs_")
+        || name.starts_with("dfs_")
+        || name.starts_with("bc_")
+        || name.starts_with("pagerank_")
+        || name.starts_with("sssp_")
+    {
+        Box::new(crono_workload(name))
+    } else {
+        Box::new(spec_workload(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_both_families() {
+        assert_eq!(workload("mcf").name(), "mcf");
+        assert_eq!(workload("bfs_100000_16").name(), "bfs_100000_16");
+        assert_eq!(workload("gcc_typeck").name(), "gcc_typeck");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown SPEC-like workload")]
+    fn unknown_name_panics() {
+        let _ = workload("doom_eternal");
+    }
+}

@@ -1,0 +1,201 @@
+//! The workload mixer: interleaves pattern components into one trace.
+//!
+//! A [`MixSpec`] lists weighted [`PatternSpec`] components; the generated
+//! trace interleaves bursts from the components (weighted pick per burst,
+//! deterministic from the seed) and rewrites each component's internal
+//! "depends on my previous load" links into trace-level `dep_back`
+//! distances, dropping any link that would exceed the ROB window.
+
+use crate::patterns::{PatternSpec, PatternState, ProtoInst};
+use prophet_sim_core::trace::{MemOp, TraceInst, TraceSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dependencies farther back than this are dropped (the ROB bounds how far
+/// the engine can look back; Table 1: 288 entries).
+pub const MAX_DEP_BACK: u64 = 280;
+
+/// A complete synthetic workload: weighted pattern components + length.
+#[derive(Debug, Clone)]
+pub struct MixSpec {
+    /// Workload name (reports/registry key).
+    pub name: String,
+    /// RNG seed: same seed → bit-identical trace.
+    pub seed: u64,
+    /// `(weight, component)` pairs; weights need not sum to 1.
+    pub parts: Vec<(f64, PatternSpec)>,
+    /// Total instructions to generate.
+    pub total_insts: u64,
+}
+
+impl MixSpec {
+    /// Generates the full instruction trace.
+    pub fn build(&self) -> Vec<TraceInst> {
+        assert!(!self.parts.is_empty(), "a mix needs at least one component");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut states: Vec<PatternState> = self
+            .parts
+            .iter()
+            .map(|(_, spec)| spec.instantiate(&mut rng))
+            .collect();
+        let weights: Vec<f64> = self.parts.iter().map(|(w, _)| *w).collect();
+        let total_w: f64 = weights.iter().sum();
+        assert!(total_w > 0.0, "weights must be positive");
+
+        let mut out: Vec<TraceInst> = Vec::with_capacity(self.total_insts as usize);
+        // Per-component index of its most recent load in `out`.
+        let mut last_load: Vec<Option<u64>> = vec![None; states.len()];
+        let mut burst: Vec<ProtoInst> = Vec::with_capacity(16);
+
+        while (out.len() as u64) < self.total_insts {
+            // Weighted component choice.
+            let mut pick = rng.gen_range(0.0..total_w);
+            let mut ci = 0;
+            for (i, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    ci = i;
+                    break;
+                }
+                pick -= w;
+            }
+            burst.clear();
+            states[ci].burst(&mut burst, &mut rng);
+            for p in &burst {
+                let idx = out.len() as u64;
+                let dep_back = if p.depends_on_prev_load {
+                    last_load[ci].and_then(|li| {
+                        let gap = idx - li;
+                        (gap <= MAX_DEP_BACK).then_some(gap as u32)
+                    })
+                } else {
+                    None
+                };
+                out.push(TraceInst {
+                    pc: p.pc,
+                    op: p.op,
+                    dep_back,
+                });
+                if matches!(p.op, Some(MemOp::Load(_))) {
+                    last_load[ci] = Some(idx);
+                }
+            }
+        }
+        out.truncate(self.total_insts as usize);
+        out
+    }
+}
+
+impl TraceSource for MixSpec {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn stream(&self) -> Box<dyn Iterator<Item = TraceInst> + '_> {
+        Box::new(self.build().into_iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_mix() -> MixSpec {
+        MixSpec {
+            name: "test".into(),
+            seed: 1,
+            parts: vec![
+                (
+                    0.5,
+                    PatternSpec::TemporalCycle {
+                        pc: 0x10,
+                        lines: 100,
+                        base: 0,
+                        dependent: true,
+                        noise: 0.0,
+                        pad: 1,
+                    },
+                ),
+                (
+                    0.5,
+                    PatternSpec::Stream {
+                        pc: 0x20,
+                        lines: 10_000,
+                        base: 1 << 20,
+                        pad: 1,
+                    },
+                ),
+            ],
+            total_insts: 10_000,
+        }
+    }
+
+    #[test]
+    fn builds_exact_length() {
+        let trace = simple_mix().build();
+        assert_eq!(trace.len(), 10_000);
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let m = simple_mix();
+        assert_eq!(m.build(), m.build());
+    }
+
+    #[test]
+    fn both_components_present() {
+        let trace = simple_mix().build();
+        let c1 = trace.iter().filter(|i| i.pc.0 == 0x10).count();
+        let c2 = trace.iter().filter(|i| i.pc.0 == 0x20).count();
+        assert!(c1 > 2_000, "component 1 underrepresented: {c1}");
+        assert!(c2 > 2_000, "component 2 underrepresented: {c2}");
+    }
+
+    #[test]
+    fn dependencies_are_valid() {
+        let trace = simple_mix().build();
+        for (i, inst) in trace.iter().enumerate() {
+            if let Some(back) = inst.dep_back {
+                assert!(back as usize <= i, "dep reaches before trace start");
+                assert!(u64::from(back) <= MAX_DEP_BACK);
+                let producer = &trace[i - back as usize];
+                assert!(
+                    matches!(producer.op, Some(MemOp::Load(_))),
+                    "dependency must point at a load"
+                );
+                assert_eq!(
+                    producer.pc, inst.pc,
+                    "pattern-internal deps stay within the component"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dependent_component_actually_chains() {
+        let trace = simple_mix().build();
+        let chained = trace
+            .iter()
+            .filter(|i| i.pc.0 == 0x10 && i.dep_back.is_some())
+            .count();
+        assert!(chained > 1_000, "pointer chase must be chained: {chained}");
+    }
+
+    #[test]
+    fn trace_source_streams_full_trace() {
+        let m = simple_mix();
+        assert_eq!(m.stream().count(), 10_000);
+        assert_eq!(m.name(), "test");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_mix_panics() {
+        let m = MixSpec {
+            name: "empty".into(),
+            seed: 0,
+            parts: vec![],
+            total_insts: 10,
+        };
+        let _ = m.build();
+    }
+}

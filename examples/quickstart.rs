@@ -1,0 +1,55 @@
+//! Quickstart: profile a workload, build hints, run Prophet, compare with
+//! the no-temporal-prefetcher baseline and Triangel.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use prophet::ProphetPipeline;
+use prophet_prefetch::{NoL2Prefetch, StridePrefetcher};
+use prophet_sim_core::simulate;
+use prophet_sim_mem::SystemConfig;
+use prophet_temporal::Triangel;
+use prophet_workloads::workload;
+
+fn main() {
+    let sys = SystemConfig::isca25();
+    println!("{}", sys.table1());
+
+    let w = workload("omnetpp");
+    let (warmup, measure) = (200_000, 650_000);
+
+    // Baseline: L1 stride prefetcher only.
+    let base = simulate(
+        &sys,
+        w.as_ref(),
+        Box::new(StridePrefetcher::default()),
+        Box::new(NoL2Prefetch),
+        warmup,
+        measure,
+    );
+    println!("baseline:\n{base}");
+
+    // The hardware state of the art.
+    let tri = simulate(
+        &sys,
+        w.as_ref(),
+        Box::new(StridePrefetcher::default()),
+        Box::new(Triangel::default()),
+        warmup,
+        measure,
+    );
+    println!("triangel: speedup {:.3}\n{tri}", tri.speedup_over(&base));
+
+    // Prophet: Step 1 (profile) -> Step 2 (analyze) -> optimized run.
+    let mut pipeline = ProphetPipeline::isca25();
+    pipeline.lengths_mut().warmup = warmup;
+    pipeline.lengths_mut().measure = measure;
+    pipeline.learn_input(w.as_ref());
+    let hints = pipeline.hints();
+    println!(
+        "prophet hints: {} PC hints, CSR = {:?}",
+        hints.pc_hints.len(),
+        hints.csr
+    );
+    let pro = pipeline.run_optimized(w.as_ref());
+    println!("prophet: speedup {:.3}\n{pro}", pro.speedup_over(&base));
+}

@@ -1,0 +1,155 @@
+//! Integration tests on the simulator substrate: conservation laws and
+//! timing sanity that every figure implicitly relies on.
+
+use prophet_prefetch::{NoL1Prefetch, NoL2Prefetch, StridePrefetcher};
+use prophet_sim_core::{simulate, TraceInst, VecTrace};
+use prophet_sim_mem::{Addr, Pc, SystemConfig};
+use prophet_temporal::Triangel;
+use prophet_workloads::workload;
+
+#[test]
+fn dram_reads_bounded_by_misses_plus_prefetches() {
+    let w = workload("mcf");
+    let r = simulate(
+        &SystemConfig::isca25(),
+        w.as_ref(),
+        Box::new(StridePrefetcher::default()),
+        Box::new(Triangel::default()),
+        100_000,
+        300_000,
+    );
+    assert!(
+        r.dram.reads <= r.l2.demand_misses + r.issued_prefetches + r.l1d.demand_misses,
+        "DRAM reads ({}) cannot exceed miss+prefetch traffic",
+        r.dram.reads
+    );
+}
+
+#[test]
+fn useful_prefetches_bounded_by_issued() {
+    let w = workload("xalancbmk");
+    let r = simulate(
+        &SystemConfig::isca25(),
+        w.as_ref(),
+        Box::new(StridePrefetcher::default()),
+        Box::new(Triangel::default()),
+        100_000,
+        300_000,
+    );
+    assert!(r.useful_prefetches <= r.issued_prefetches);
+    assert!(r.accuracy() <= 1.0);
+    assert!(r.coverage() <= 1.0);
+}
+
+#[test]
+fn ipc_bounded_by_fetch_width() {
+    let insts: Vec<TraceInst> = (0..100_000).map(|_| TraceInst::op(Pc(1))).collect();
+    let w = VecTrace::new("alu", insts);
+    let r = simulate(
+        &SystemConfig::isca25(),
+        &w,
+        Box::new(NoL1Prefetch),
+        Box::new(NoL2Prefetch),
+        1_000,
+        90_000,
+    );
+    assert!(r.ipc <= 5.01, "IPC cannot exceed the 5-wide fetch");
+    assert!(r.ipc > 4.5, "ALU-only code should saturate fetch");
+}
+
+#[test]
+fn hot_loop_hits_l1_after_warmup() {
+    let lines: Vec<u64> = (0..256).collect();
+    let mut insts = Vec::new();
+    for _ in 0..400 {
+        for &l in &lines {
+            insts.push(TraceInst::load(Pc(7), Addr(l * 64)));
+        }
+    }
+    let w = VecTrace::new("hot", insts);
+    let r = simulate(
+        &SystemConfig::isca25(),
+        &w,
+        Box::new(NoL1Prefetch),
+        Box::new(NoL2Prefetch),
+        20_000,
+        80_000,
+    );
+    assert!(
+        r.l1d.hit_rate() > 0.99,
+        "a 16 KB loop must live in the L1, hit rate {}",
+        r.l1d.hit_rate()
+    );
+}
+
+#[test]
+fn meta_partition_shrinks_llc_for_demand() {
+    // The same LLC-sized scan with and without 8 ways of metadata: stealing
+    // half the LLC must cost demand hits.
+    // 30k lines (1.9 MB): fits L2+LLC when the LLC is whole (8k + 32k
+    // lines, exclusive hierarchy) but not with 8 ways pinned (8k + 16k).
+    let lines: Vec<u64> = (0..30_000).collect();
+    let mut insts = Vec::new();
+    for _ in 0..24 {
+        for &l in &lines {
+            insts.push(TraceInst::load(Pc(9), Addr(l * 64)));
+        }
+    }
+    let w = VecTrace::new("scan", insts);
+    let free = simulate(
+        &SystemConfig::isca25(),
+        &w,
+        Box::new(NoL1Prefetch),
+        Box::new(NoL2Prefetch),
+        100_000,
+        300_000,
+    );
+    // A dummy prefetcher that pins 8 ways of metadata but never prefetches.
+    struct Pinner;
+    impl prophet_prefetch::L2Prefetcher for Pinner {
+        fn name(&self) -> &'static str {
+            "pinner"
+        }
+        fn on_l2_access(
+            &mut self,
+            _ev: &prophet_sim_mem::hierarchy::L2Event,
+        ) -> prophet_prefetch::L2Decision {
+            prophet_prefetch::L2Decision::none()
+        }
+        fn meta_ways(&self) -> usize {
+            8
+        }
+    }
+    let pinned = simulate(
+        &SystemConfig::isca25(),
+        &w,
+        Box::new(NoL1Prefetch),
+        Box::new(Pinner),
+        100_000,
+        300_000,
+    );
+    assert!(
+        pinned.llc.demand_misses > free.llc.demand_misses,
+        "metadata ways must cost the scan LLC hits: {} vs {}",
+        pinned.llc.demand_misses,
+        free.llc.demand_misses
+    );
+    assert!(pinned.ipc < free.ipc);
+}
+
+#[test]
+fn all_named_workloads_simulate() {
+    for name in prophet_workloads::SPEC_WORKLOADS {
+        let w = workload(name);
+        let r = simulate(
+            &SystemConfig::isca25(),
+            w.as_ref(),
+            Box::new(NoL1Prefetch),
+            Box::new(NoL2Prefetch),
+            10_000,
+            50_000,
+        );
+        assert!(r.ipc > 0.0, "{name} must produce a runnable trace");
+        assert_eq!(r.instructions, 50_000);
+    }
+}
