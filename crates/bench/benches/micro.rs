@@ -3,7 +3,9 @@
 //! figures — those are the `src/bin` harnesses).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use prophet::{analyze, AnalysisConfig, MultiPathVictimBuffer, MvbConfig, PcProfile, ProfileCounters};
+use prophet::{
+    analyze, AnalysisConfig, MultiPathVictimBuffer, MvbConfig, PcProfile, ProfileCounters,
+};
 use prophet_prefetch::{L1Prefetcher, NoL2Prefetch, StridePrefetcher};
 use prophet_sim_core::{simulate, TraceInst, VecTrace};
 use prophet_sim_mem::hierarchy::L2Event;

@@ -3,8 +3,14 @@ use prophet_bench::Harness;
 use prophet_workloads::workload;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "pagerank_100000_100".into());
-    let h = Harness { warmup: 1_100_000, measure: 1_000_000, ..Harness::default() };
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "pagerank_100000_100".into());
+    let h = Harness {
+        warmup: 1_100_000,
+        measure: 1_000_000,
+        ..Harness::default()
+    };
     let w = workload(&name);
     let base = h.baseline(w.as_ref());
     println!("base: {base}");

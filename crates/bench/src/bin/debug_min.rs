@@ -9,11 +9,19 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(45_000);
-    let pad: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(45_000);
+    let pad: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
     // Shuffled cycle like the workload generator's.
     let mut rng = StdRng::seed_from_u64(7);
-    let mut lines: Vec<u64> = (0..n).map(|i| 0x0100_0000 + i * 4 + rng.gen_range(0..4)).collect();
+    let mut lines: Vec<u64> = (0..n)
+        .map(|i| 0x0100_0000 + i * 4 + rng.gen_range(0..4u64))
+        .collect();
     for i in (1..lines.len()).rev() {
         let j = rng.gen_range(0..=i);
         lines.swap(i, j);
@@ -26,7 +34,11 @@ fn main() {
                 insts.push(TraceInst::load(Pc(0x700), Addr(l * 64)));
                 first = false;
             } else {
-                insts.push(TraceInst::load_dep(Pc(0x700), Addr(l * 64), (pad + 1) as u32));
+                insts.push(TraceInst::load_dep(
+                    Pc(0x700),
+                    Addr(l * 64),
+                    (pad + 1) as u32,
+                ));
             }
             for _ in 0..pad {
                 insts.push(TraceInst::op(Pc(0x700)));

@@ -28,7 +28,9 @@ impl L2Prefetcher for Shared {
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "xalancbmk".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "xalancbmk".into());
     let w = workload(&name);
     let tp = Rc::new(RefCell::new(SimplifiedTp::new()));
     let mut sim = Simulator::new(

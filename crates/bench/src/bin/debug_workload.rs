@@ -29,7 +29,10 @@ fn main() {
     let hints = pl.hints();
     println!("hints: csr={:?}", hints.csr);
     for (pc, hint) in &hints.pc_hints {
-        println!("  pc {pc:#06x}: insert={} prio={}", hint.insert, hint.priority);
+        println!(
+            "  pc {pc:#06x}: insert={} prio={}",
+            hint.insert, hint.priority
+        );
     }
 
     let opt = pl.run_optimized(w.as_ref());

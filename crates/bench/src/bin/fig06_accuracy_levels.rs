@@ -9,7 +9,10 @@ fn main() {
     let mut pl = h.prophet_pipeline();
     let report = pl.learn_input(workload("omnetpp").as_ref());
     println!("Figure 6: per-PC prefetching accuracy under the simplified TP (omnetpp)");
-    println!("{:<10} {:>10} {:>10} {:>9}  level", "pc", "issued", "useful", "accuracy");
+    println!(
+        "{:<10} {:>10} {:>10} {:>9}  level",
+        "pc", "issued", "useful", "accuracy"
+    );
     let mut rows: Vec<_> = report
         .per_pc
         .iter()

@@ -7,7 +7,10 @@ use prophet_workloads::{workload, SPEC_WORKLOADS};
 
 fn main() {
     println!("Figure 8: Markov target multiplicity (fraction of addresses with T targets)");
-    println!("{:<18} {:>7} {:>7} {:>7} {:>7} {:>7}", "workload", "T=1", "T=2", "T=3", "T=4", "T=5");
+    println!(
+        "{:<18} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "workload", "T=1", "T=2", "T=3", "T=4", "T=5"
+    );
     let mut sums = vec![0.0f64; 5];
     let mut n = 0;
     for name in SPEC_WORKLOADS {

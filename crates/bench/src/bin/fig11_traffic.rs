@@ -6,8 +6,13 @@ use prophet_workloads::{workload, SPEC_WORKLOADS};
 
 fn main() {
     let h = Harness::default();
-    println!("Figure 11: normalized DRAM traffic (paper: RPG2 ~1.00, Triangel ~1.10, Prophet ~1.19)");
-    println!("{:<18} {:>8} {:>10} {:>9}", "workload", "RPG2", "Triangel", "Prophet");
+    println!(
+        "Figure 11: normalized DRAM traffic (paper: RPG2 ~1.00, Triangel ~1.10, Prophet ~1.19)"
+    );
+    println!(
+        "{:<18} {:>8} {:>10} {:>9}",
+        "workload", "RPG2", "Triangel", "Prophet"
+    );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
     for name in SPEC_WORKLOADS {
         let row = SchemeRow::run(&h, workload(name).as_ref());

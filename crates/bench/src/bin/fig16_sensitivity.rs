@@ -48,7 +48,11 @@ fn main() {
             )
         })
         .collect();
-    sweep(&h, "Figure 16a: EL_ACC in the Prophet insertion policy (paper picks 0.15)", &v);
+    sweep(
+        &h,
+        "Figure 16a: EL_ACC in the Prophet insertion policy (paper picks 0.15)",
+        &v,
+    );
 
     let v: Vec<_> = [1u8, 2, 3]
         .iter()
@@ -63,7 +67,11 @@ fn main() {
             )
         })
         .collect();
-    sweep(&h, "Figure 16b: n in the Prophet replacement policy (paper picks n=2)", &v);
+    sweep(
+        &h,
+        "Figure 16b: n in the Prophet replacement policy (paper picks n=2)",
+        &v,
+    );
 
     let v: Vec<_> = [1usize, 2, 4]
         .iter()
@@ -81,5 +89,9 @@ fn main() {
             )
         })
         .collect();
-    sweep(&h, "Figure 16c: candidates per MVB entry (paper picks 1)", &v);
+    sweep(
+        &h,
+        "Figure 16c: candidates per MVB entry (paper picks 1)",
+        &v,
+    );
 }

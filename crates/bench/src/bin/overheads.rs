@@ -19,7 +19,9 @@ fn main() {
         100.0 * m.amortized_overhead(),
         1.0 / m.profiled_execution_fraction
     );
-    println!("  paper: sampling 4 PEBS events costs <2%; Prophet needs 2-3 -> <2% per profiled run\n");
+    println!(
+        "  paper: sampling 4 PEBS events costs <2%; Prophet needs 2-3 -> <2% per profiled run\n"
+    );
 
     // 5.4.2 Analysis overhead: wall-clock of the real Analysis step.
     let h = Harness::default();

@@ -16,6 +16,14 @@ fn main() {
         std::process::exit(2);
     };
     let schemes: Vec<String> = args.collect();
+    const KNOWN: [&str; 5] = ["baseline", "triage4", "triangel", "rpg2", "prophet"];
+    if let Some(bad) = schemes.iter().find(|s| !KNOWN.contains(&s.as_str())) {
+        eprintln!(
+            "unknown scheme: {bad} (expected one of {})",
+            KNOWN.join("|")
+        );
+        std::process::exit(2);
+    }
     let all = schemes.is_empty();
     let want = |s: &str| all || schemes.iter().any(|x| x == s);
 

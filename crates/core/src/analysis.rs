@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn eq3_resizing_rounds_and_caps() {
         let c = cfg(); // per way: 2048 × 12 = 24,576 entries
-        // 100k entries → rounds to 131072 → 5.33 ways → ceil 6.
+                       // 100k entries → rounds to 131072 → 5.33 ways → ceil 6.
         let h = c.resize(100_000.0);
         assert!(h.enabled);
         assert_eq!(h.meta_ways, 6);

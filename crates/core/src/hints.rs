@@ -201,7 +201,10 @@ mod tests {
     fn storage_matches_paper() {
         let b = HintBuffer::new(128);
         let kb = b.storage_bytes() / 1024.0;
-        assert!((kb - 0.1875).abs() < 0.01, "128 entries ≈ 0.19 KB, got {kb}");
+        assert!(
+            (kb - 0.1875).abs() < 0.01,
+            "128 entries ≈ 0.19 KB, got {kb}"
+        );
     }
 
     #[test]

@@ -137,7 +137,8 @@ mod tests {
         let h1 = lp.build_hints(&cfg);
         lp.learn(profile(&[(1, 0.78)]));
         let h2 = lp.build_hints(&cfg);
-        let find = |h: &crate::hints::HintSet| h.pc_hints.iter().find(|(pc, _)| *pc == 1).unwrap().1;
+        let find =
+            |h: &crate::hints::HintSet| h.pc_hints.iter().find(|(pc, _)| *pc == 1).unwrap().1;
         assert_eq!(find(&h1), find(&h2));
     }
 

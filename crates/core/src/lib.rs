@@ -62,8 +62,8 @@ pub mod storage;
 pub use analysis::{analyze, AnalysisConfig};
 pub use counters::{PcProfile, ProfileCounters};
 pub use flexibility::{select_features, FeatureSelection, SelectionPolicy};
-pub use injection::{InjectionCost, InjectionMethod};
 pub use hints::{CsrHint, HintBuffer, HintSet, PcHint};
+pub use injection::{InjectionCost, InjectionMethod};
 pub use learning::{LearnedProfile, DEFAULT_LOOP_CAP};
 pub use mvb::{MultiPathVictimBuffer, MvbConfig};
 pub use pipeline::{ProphetPipeline, RunLengths};

@@ -74,7 +74,10 @@ impl MultiPathVictimBuffer {
     /// # Panics
     /// Panics if the geometry does not divide into whole power-of-two sets.
     pub fn new(cfg: MvbConfig) -> Self {
-        assert!(cfg.ways > 0 && cfg.candidates > 0, "degenerate MVB geometry");
+        assert!(
+            cfg.ways > 0 && cfg.candidates > 0,
+            "degenerate MVB geometry"
+        );
         let sets = cfg.entries / cfg.ways;
         assert!(sets.is_power_of_two(), "MVB sets must be a power of two");
         MultiPathVictimBuffer {
@@ -269,7 +272,10 @@ mod tests {
     fn storage_matches_paper() {
         let m = MultiPathVictimBuffer::new(MvbConfig::default());
         let kb = m.storage_bytes() / 1024.0;
-        assert!((kb - 344.0).abs() < 1.0, "65,536 × 43 bits ≈ 344 KB, got {kb}");
+        assert!(
+            (kb - 344.0).abs() < 1.0,
+            "65,536 × 43 bits ≈ 344 KB, got {kb}"
+        );
     }
 
     #[test]

@@ -113,6 +113,9 @@ mod tests {
             injected_instructions: 129,
             workload_instructions: 1_000_000_000,
         };
-        assert!(o.dynamic_fraction() < 1e-6, "negligible vs billions of insts");
+        assert!(
+            o.dynamic_fraction() < 1e-6,
+            "negligible vs billions of insts"
+        );
     }
 }

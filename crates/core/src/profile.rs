@@ -112,7 +112,10 @@ mod tests {
                 noise_state = noise_state
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(round);
-                insts.push(TraceInst::load(Pc(0x200), Addr((noise_state % (1 << 28)) & !63)));
+                insts.push(TraceInst::load(
+                    Pc(0x200),
+                    Addr((noise_state % (1 << 28)) & !63),
+                ));
             }
         }
         VecTrace::new("mixed", insts)
@@ -120,12 +123,8 @@ mod tests {
 
     #[test]
     fn profiling_separates_pattern_from_noise() {
-        let (profile, report) = profile_workload(
-            &SystemConfig::isca25(),
-            &mixed_trace(),
-            100_000,
-            300_000,
-        );
+        let (profile, report) =
+            profile_workload(&SystemConfig::isca25(), &mixed_trace(), 100_000, 300_000);
         assert_eq!(report.scheme, "simplified-tp");
         let good = profile.per_pc.get(&0x100).expect("pattern PC profiled");
         let bad = profile.per_pc.get(&0x200).expect("noise PC profiled");
@@ -149,12 +148,8 @@ mod tests {
 
     #[test]
     fn allocated_entries_reflect_footprint() {
-        let (profile, _) = profile_workload(
-            &SystemConfig::isca25(),
-            &mixed_trace(),
-            100_000,
-            300_000,
-        );
+        let (profile, _) =
+            profile_workload(&SystemConfig::isca25(), &mixed_trace(), 100_000, 300_000);
         assert!(
             profile.allocated_entries() > 0.0,
             "training must allocate metadata entries"

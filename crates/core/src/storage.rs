@@ -90,7 +90,12 @@ mod tests {
     #[test]
     fn table_renders_all_rows() {
         let t = StorageBreakdown::isca25().table();
-        for needle in ["replacement states", "Hint buffer", "Victim Buffer", "Total"] {
+        for needle in [
+            "replacement states",
+            "Hint buffer",
+            "Victim Buffer",
+            "Total",
+        ] {
             assert!(t.contains(needle));
         }
     }

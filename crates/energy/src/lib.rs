@@ -77,8 +77,7 @@ impl EnergyBreakdown {
 pub fn energy_of(report: &SimReport, model: &EnergyModel, side_accesses: u64) -> EnergyBreakdown {
     let l1_accesses = report.l1d.demand_accesses();
     let l2_accesses = report.l2.demand_accesses() + report.l2.prefetch_fills;
-    let llc_accesses =
-        report.llc.demand_accesses() + report.meta.lookups + report.meta.insertions;
+    let llc_accesses = report.llc.demand_accesses() + report.meta.lookups + report.meta.insertions;
     let dram_accesses = report.dram.traffic();
     EnergyBreakdown {
         l1_nj: l1_accesses as f64 * model.l1_nj,

@@ -295,18 +295,17 @@ mod tests {
             .collect();
         let outs = drive(&mut pf, 3, &addrs);
         let produced: usize = outs.iter().map(|o| o.len()).sum();
-        assert!(produced < 8, "random stream should rarely trigger ({produced})");
+        assert!(
+            produced < 8,
+            "random stream should rarely trigger ({produced})"
+        );
     }
 
     #[test]
     fn respects_page_boundary() {
         let mut pf = IpcpPrefetcher::default();
         let base = PAGE_BYTES - 3 * 64;
-        let outs = drive(
-            &mut pf,
-            4,
-            &[base, base + 64, base + 128, base + 128 + 64],
-        );
+        let outs = drive(&mut pf, 4, &[base, base + 64, base + 128, base + 128 + 64]);
         for o in outs {
             for a in o {
                 assert!(a.0 < 2 * PAGE_BYTES, "prefetch crossed too far: {a}");

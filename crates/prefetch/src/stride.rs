@@ -150,7 +150,10 @@ mod tests {
         let issued = &outs[3];
         assert!(!issued.is_empty(), "stable stride must trigger prefetches");
         assert_eq!(issued[0], Addr(192 + 64));
-        assert_eq!(issued.last().copied(), Some(Addr(192 + 64 * issued.len() as u64)));
+        assert_eq!(
+            issued.last().copied(),
+            Some(Addr(192 + 64 * issued.len() as u64))
+        );
     }
 
     #[test]

@@ -181,7 +181,10 @@ mod tests {
         misses.insert(2u64, 400u64);
         misses.insert(1u64, 50u64);
         let q = a.qualify(&misses);
-        assert!(q.contains(&2), "indirect access with strided kernel qualifies");
+        assert!(
+            q.contains(&2),
+            "indirect access with strided kernel qualifies"
+        );
     }
 
     #[test]

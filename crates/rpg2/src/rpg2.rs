@@ -131,7 +131,7 @@ mod tests {
     fn crono_like() -> VecTrace {
         let mut rng = StdRng::seed_from_u64(5);
         let idx: Vec<u64> = (0..30_000u64)
-            .map(|i| (i / 4) * 2 + rng.gen_range(0..64))
+            .map(|i| (i / 4) * 2 + rng.gen_range(0..64u64))
             .collect();
         let mut insts = Vec::new();
         for _ in 0..3 {

@@ -39,6 +39,6 @@ pub mod trace;
 
 pub use engine::{Engine, EngineStats, MemBackend};
 pub use report::{aggregate_weighted, geomean, SimReport};
-pub use simpoint::{even_checkpoints, run_checkpoints, Checkpoint};
 pub use sim::{simulate, MemSystem, Simulator, MAX_META_WAYS};
+pub use simpoint::{even_checkpoints, run_checkpoints, Checkpoint};
 pub use trace::{MemOp, TraceInst, TraceSource, VecTrace};

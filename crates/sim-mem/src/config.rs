@@ -107,7 +107,10 @@ impl Default for SystemConfig {
 impl fmt::Display for SystemConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Module              | Configuration")?;
-        writeln!(f, "--------------------+--------------------------------------------")?;
+        writeln!(
+            f,
+            "--------------------+--------------------------------------------"
+        )?;
         writeln!(
             f,
             "Core                | {}-wide fetch, {}-wide decode",
@@ -123,7 +126,11 @@ impl fmt::Display for SystemConfig {
             "                    | {}-entry IQ, {}/{}-entry LQ/SQ",
             self.core.iq_entries, self.core.lq_entries, self.core.sq_entries
         )?;
-        writeln!(f, "                    | {}-entry ROB", self.core.rob_entries)?;
+        writeln!(
+            f,
+            "                    | {}-entry ROB",
+            self.core.rob_entries
+        )?;
         for c in [&self.l1d, &self.l2, &self.llc] {
             writeln!(
                 f,

@@ -61,8 +61,8 @@ impl OptGen {
         // [prev, t) has spare capacity (the interval includes the previous
         // access itself — the line is live from that moment); granted
         // intervals bump the occupancy.
-        let fits = (prev..t)
-            .all(|step| self.occupancy[(step as usize) % HISTORY] < self.capacity as u8);
+        let fits =
+            (prev..t).all(|step| self.occupancy[(step as usize) % HISTORY] < self.capacity as u8);
         if fits {
             for step in prev..t {
                 self.occupancy[(step as usize) % HISTORY] += 1;
@@ -92,7 +92,10 @@ impl Hawkeye {
     /// # Panics
     /// Panics if `sample` is not a power of two.
     pub fn new(ways: usize, sample: usize) -> Self {
-        assert!(sample.is_power_of_two(), "sample rate must be a power of two");
+        assert!(
+            sample.is_power_of_two(),
+            "sample rate must be a power of two"
+        );
         Hawkeye {
             counters: vec![4; 8192],
             oracles: HashMap::new(),
@@ -113,10 +116,7 @@ impl Hawkeye {
     pub fn observe(&mut self, set: usize, line: Line, pc: Pc) -> bool {
         if set & self.sample_mask == 0 {
             let ways = self.ways;
-            let oracle = self
-                .oracles
-                .entry(set)
-                .or_insert_with(|| OptGen::new(ways));
+            let oracle = self.oracles.entry(set).or_insert_with(|| OptGen::new(ways));
             let verdict = oracle.access(line);
             let trainee = self.last_pc.insert(line, pc).unwrap_or(pc);
             if let Some(opt_hit) = verdict {
@@ -184,7 +184,7 @@ mod tests {
     #[test]
     fn predictor_learns_friendly_pc() {
         let mut h = Hawkeye::new(4, 1); // sample every set
-        // PC 1 loops over 3 lines in one set: OPT-hit every time.
+                                        // PC 1 loops over 3 lines in one set: OPT-hit every time.
         for _ in 0..40 {
             for l in [10u64, 11, 12] {
                 h.observe(0, Line(l), Pc(1));

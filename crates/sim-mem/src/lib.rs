@@ -43,7 +43,5 @@ pub use cache::{Cache, CacheConfig, CacheStats, LineState};
 pub use config::{CoreConfig, SystemConfig};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use hawkeye::{Hawkeye, OptGen};
-pub use hierarchy::{
-    DemandOutcome, Hierarchy, L2Event, MemStats, PcMemStats, PrefetchOutcome,
-};
+pub use hierarchy::{DemandOutcome, Hierarchy, L2Event, MemStats, PcMemStats, PrefetchOutcome};
 pub use replacement::{ReplKind, ReplState};

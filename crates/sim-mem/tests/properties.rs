@@ -1,9 +1,9 @@
 //! Property-based tests for the memory substrate.
 
-use proptest::prelude::*;
 use prophet_sim_mem::cache::{demand_line, Cache, CacheConfig};
 use prophet_sim_mem::replacement::{ReplKind, ReplState};
 use prophet_sim_mem::{CountingBloom, Hierarchy, Line, Pc, SystemConfig};
+use proptest::prelude::*;
 
 proptest! {
     /// Any replacement policy returns victims inside the allowed range.

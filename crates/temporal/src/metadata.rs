@@ -140,7 +140,10 @@ impl MetadataTable {
     /// Panics if geometry is invalid (`sets` not a power of two, `ways`
     /// exceeding `max_ways`).
     pub fn new(cfg: MetaTableConfig, ways: usize) -> Self {
-        assert!(cfg.sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            cfg.sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         assert!(ways <= cfg.max_ways, "initial ways exceed the maximum");
         MetadataTable {
             slots: vec![Slot::EMPTY; cfg.sets * cfg.max_ways * ENTRIES_PER_LINE],
@@ -475,7 +478,11 @@ mod tests {
             other => panic!("expected UpdatedTarget, got {other:?}"),
         }
         assert_eq!(t.lookup(Line(100)), Some(Line(300)));
-        assert_eq!(t.stats().insertions, 1, "in-place update is not an allocation");
+        assert_eq!(
+            t.stats().insertions,
+            1,
+            "in-place update is not an allocation"
+        );
     }
 
     #[test]
@@ -491,7 +498,7 @@ mod tests {
     #[test]
     fn replacement_when_set_full() {
         let mut t = table(1); // 12 entries per set
-        // Fill set 0 with 12 distinct sources (stride = sets).
+                              // Fill set 0 with 12 distinct sources (stride = sets).
         for i in 0..12u64 {
             let out = t.insert(Line(i * 16), Line(1000 + i), Pc(1), 1);
             assert_eq!(out, InsertOutcome::Allocated);
@@ -579,7 +586,10 @@ mod tests {
     #[test]
     fn zero_ways_disables_table() {
         let mut t = table(0);
-        assert_eq!(t.insert(Line(1), Line(2), Pc(1), 1), InsertOutcome::Unchanged);
+        assert_eq!(
+            t.insert(Line(1), Line(2), Pc(1), 1),
+            InsertOutcome::Unchanged
+        );
         assert_eq!(t.lookup(Line(1)), None);
         assert_eq!(t.stats().lookups, 0, "disabled table performs no lookups");
     }
@@ -593,7 +603,7 @@ mod tests {
         assert_eq!(k1, k2);
         // Different lines with the same set+tag alias to the same key (the
         // compressed format is lossy by design).
-        let aliased = Line(line.0 + (1 << (TAG_BITS + 4 /*set bits for 16 sets*/)));
+        let aliased = Line(line.0 + (1 << (TAG_BITS + 4/*set bits for 16 sets*/)));
         assert_eq!(t.key_of(aliased), k1);
     }
 

@@ -166,7 +166,10 @@ mod tests {
         c.record(Line(2), Line(4));
         let h = c.histogram();
         assert!((h[0] - 0.5).abs() < 1e-12, "half the sources have 1 target");
-        assert!((h[1] - 0.5).abs() < 1e-12, "half the sources have 2 targets");
+        assert!(
+            (h[1] - 0.5).abs() < 1e-12,
+            "half the sources have 2 targets"
+        );
         assert_eq!(c.sources(), 2);
     }
 
@@ -177,7 +180,10 @@ mod tests {
             c.record(Line(1), Line(100 + t));
         }
         let h = c.histogram();
-        assert!((h[2] - 1.0).abs() < 1e-12, "over-cap counts clamp to the last bin");
+        assert!(
+            (h[2] - 1.0).abs() < 1e-12,
+            "over-cap counts clamp to the last bin"
+        );
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! Property-based tests for the temporal-prefetching machinery.
 
-use proptest::prelude::*;
 use prophet_sim_mem::hierarchy::L2Event;
 use prophet_sim_mem::{Line, Pc};
 use prophet_temporal::{
     InsertionPolicy, MetaRepl, MetaTableConfig, ResizePolicy, SatCounter, TemporalConfig,
     TemporalEngine,
 };
+use proptest::prelude::*;
 
 fn engine(degree: usize) -> TemporalEngine {
     TemporalEngine::new(TemporalConfig {

@@ -72,7 +72,10 @@ const PC_AUX: u64 = 0x9_03;
 /// Panics on a malformed name or unknown kernel.
 pub fn crono_workload(name: &str) -> CronoSpec {
     let parts: Vec<&str> = name.split('_').collect();
-    assert!(parts.len() == 3, "CRONO name must be kernel_size_param: {name}");
+    assert!(
+        parts.len() == 3,
+        "CRONO name must be kernel_size_param: {name}"
+    );
     let kernel = match parts[0] {
         "bfs" => CronoKernel::Bfs,
         "dfs" => CronoKernel::Dfs,
@@ -236,7 +239,7 @@ fn dfs(g: &Graph, t: &mut TraceBuilder, rep: usize) {
             t.visit_edge(base + k, v);
             if !visited[v as usize] {
                 visited[v as usize] = true;
-                t.store(PC_AUX, DATA_BASE + (v as u64) / 16, );
+                t.store(PC_AUX, DATA_BASE + (v as u64) / 16);
                 stack.push(v as usize);
             }
         }
@@ -265,7 +268,7 @@ fn sssp(g: &Graph, t: &mut TraceBuilder) {
             t.visit_edge(base + k, v);
             // dist[u] compare + conditional store.
             if (u + k) % 4 == 0 {
-                t.store(PC_AUX, DATA_BASE + (v as u64) / 16, );
+                t.store(PC_AUX, DATA_BASE + (v as u64) / 16);
             }
         }
     }

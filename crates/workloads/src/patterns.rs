@@ -510,10 +510,7 @@ mod tests {
         };
         let lines = collect_lines(spec, 120);
         // Churn accesses live in [base, base+pool); useful ones above.
-        let churn_count = lines
-            .iter()
-            .filter(|&&l| l < 10_000 + 8)
-            .count();
+        let churn_count = lines.iter().filter(|&&l| l < 10_000 + 8).count();
         assert!(churn_count >= 30, "churn segments present: {churn_count}");
         assert!(churn_count <= 50, "useful segments dominate: {churn_count}");
     }

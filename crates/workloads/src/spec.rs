@@ -55,7 +55,6 @@ pub const GCC_INPUTS: [&str; 9] = [
     "gcc_typeck",
 ];
 
-
 /// Packs pattern regions into the 21-bit (LLC set + 10-bit tag) space so
 /// distinct patterns never alias in the compressed metadata table. Random
 /// noise regions deliberately stay outside (they alias everywhere, as real

@@ -1,0 +1,155 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! API subset this workspace's microbenchmarks use: [`Criterion`],
+//! [`black_box`], `criterion_group!`/`criterion_main!`, benchmark groups
+//! with [`BenchmarkGroup::sample_size`], and [`Bencher::iter`].
+//!
+//! The build environment has no crates.io access, so this vendored
+//! mini-crate stands in for the real one. There is no statistical
+//! machinery: each benchmark is warmed up briefly, then timed over a fixed
+//! iteration budget, and the mean time per iteration is printed. Good
+//! enough to spot order-of-magnitude regressions with `cargo bench`; use
+//! real criterion for publication-grade numbers.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    /// Mean wall time of one iteration, set by [`Bencher::iter`].
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the configured iteration budget and records the mean
+    /// wall time per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Short warmup so first-touch effects don't dominate tiny budgets.
+        for _ in 0..self.iters.min(32) {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.mean = start.elapsed() / self.iters.max(1) as u32;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, iters: u64, mut f: F) {
+    let mut b = Bencher {
+        iters,
+        mean: Duration::ZERO,
+    };
+    f(&mut b);
+    println!("{label:<44} {:>12.1?}/iter ({iters} iters)", b.mean);
+}
+
+/// Entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 1_000 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.iters, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            iters: self.iters,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the iteration budget for expensive benchmarks. Real criterion
+    /// counts statistical samples; here it directly bounds loop iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = n as u64;
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.iters, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; printing is immediate).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one group function, as real criterion
+/// does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting_bench(c: &mut Criterion) {
+        let mut calls = 0u64;
+        c.bench_function("count", |b| b.iter(|| calls += 1));
+        assert!(calls > 0, "bench closure never ran");
+    }
+
+    criterion_group!(group, counting_bench);
+
+    #[test]
+    fn group_runs_all_targets() {
+        let mut c = Criterion::default();
+        group(&mut c);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let mut ran = false;
+        g.bench_function("x", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(ran);
+    }
+}

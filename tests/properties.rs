@@ -1,10 +1,10 @@
 //! Property-based tests on the core data structures and equations.
 
-use proptest::prelude::*;
-use prophet::{AnalysisConfig, MultiPathVictimBuffer, MvbConfig, ProfileCounters};
 use prophet::PcProfile;
+use prophet::{AnalysisConfig, MultiPathVictimBuffer, MvbConfig, ProfileCounters};
 use prophet_sim_mem::{CountingBloom, Line, Pc};
 use prophet_temporal::{InsertOutcome, MetaRepl, MetaTableConfig, MetadataTable};
+use proptest::prelude::*;
 
 proptest! {
     /// The metadata table never exceeds its configured capacity and the
