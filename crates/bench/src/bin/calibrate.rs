@@ -18,7 +18,7 @@ fn main() {
         eprintln!(
             "{name}: base ipc {:.4} | rpg2 {:.4} | triangel {:.4} (cov {:.2} acc {:.2} ways {}) | prophet {:.4} (cov {:.2} acc {:.2} ways {})",
             row.base.ipc,
-            row.rpg2.ipc,
+            row.rpg2.report.ipc,
             row.triangel.ipc,
             row.triangel.coverage(),
             row.triangel.accuracy(),

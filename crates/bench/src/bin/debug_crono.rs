@@ -1,6 +1,6 @@
 //! CRONO diagnosis at the fig15 measurement window.
 use prophet_bench::Harness;
-use prophet_workloads::workload;
+use prophet_workloads::workload_sized;
 
 fn main() {
     let name = std::env::args()
@@ -11,7 +11,8 @@ fn main() {
         measure: 1_000_000,
         ..Harness::default()
     };
-    let w = workload(&name);
+    // The same sized spec fig15_crono measures (repeats + graph scale).
+    let w = workload_sized(&name, h.warmup + h.measure);
     let base = h.baseline(w.as_ref());
     println!("base: {base}");
     let tri = h.triangel(w.as_ref());

@@ -6,10 +6,8 @@ use prophet_workloads::{workload, SPEC_WORKLOADS};
 
 fn main() {
     let h = Harness::default();
-    let rows: Vec<SchemeRow> = SPEC_WORKLOADS
-        .iter()
-        .map(|name| SchemeRow::run(&h, workload(name).as_ref()))
-        .collect();
+    let workloads: Vec<_> = SPEC_WORKLOADS.iter().map(|name| workload(name)).collect();
+    let rows: Vec<SchemeRow> = h.run_matrix(&workloads, 0);
     print_speedup_table(
         "Figure 10: IPC speedup (paper geomeans: RPG2 1.001, Triangel 1.204, Prophet 1.346)",
         &rows,

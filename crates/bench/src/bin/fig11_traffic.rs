@@ -1,11 +1,24 @@
 //! Figure 11: DRAM traffic (reads + writes) normalized to the baseline.
+//!
+//! ```text
+//! fig11_traffic [--insts N] [--warmup N] [--jobs N]
+//! ```
 
-use prophet_bench::{Harness, SchemeRow};
-use prophet_sim_core::geomean;
-use prophet_workloads::{workload, SPEC_WORKLOADS};
+use prophet_bench::{Harness, RunArgs};
+use prophet_sim_core::{geomean, TraceSource};
+use prophet_workloads::{workload_sized, SPEC_WORKLOADS};
 
 fn main() {
-    let h = Harness::default();
+    let args = RunArgs::parse_or_exit(
+        "usage: fig11_traffic [--insts N] [--warmup N] [--jobs N]",
+        false,
+    );
+    let h = args.harness(Harness::default());
+    let workloads: Vec<Box<dyn TraceSource + Send + Sync>> = SPEC_WORKLOADS
+        .iter()
+        .map(|name| workload_sized(name, h.warmup + h.measure))
+        .collect();
+    let rows = h.run_matrix(&workloads, args.jobs);
     println!(
         "Figure 11: normalized DRAM traffic (paper: RPG2 ~1.00, Triangel ~1.10, Prophet ~1.19)"
     );
@@ -14,13 +27,12 @@ fn main() {
         "workload", "RPG2", "Triangel", "Prophet"
     );
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for name in SPEC_WORKLOADS {
-        let row = SchemeRow::run(&h, workload(name).as_ref());
+    for row in &rows {
         let (a, b, c) = row.traffic();
         cols[0].push(a);
         cols[1].push(b);
         cols[2].push(c);
-        println!("{:<18} {:>8.3} {:>10.3} {:>9.3}", name, a, b, c);
+        println!("{:<18} {:>8.3} {:>10.3} {:>9.3}", row.workload, a, b, c);
     }
     println!(
         "{:<18} {:>8.3} {:>10.3} {:>9.3}",

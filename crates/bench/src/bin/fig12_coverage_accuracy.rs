@@ -1,6 +1,6 @@
 //! Figure 12: prefetching coverage (a) and accuracy (b) per scheme.
 
-use prophet_bench::{Harness, SchemeRow};
+use prophet_bench::Harness;
 use prophet_workloads::{workload, SPEC_WORKLOADS};
 
 fn main() {
@@ -10,13 +10,14 @@ fn main() {
         "{:<18} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
         "workload", "rpg2 cov", "acc", "tri cov", "acc", "pro cov", "acc"
     );
+    let workloads: Vec<_> = SPEC_WORKLOADS.iter().map(|name| workload(name)).collect();
+    let rows = h.run_matrix(&workloads, 0);
     let mut acc = [0.0f64; 6];
     let mut n = 0.0;
-    for name in SPEC_WORKLOADS {
-        let r = SchemeRow::run(&h, workload(name).as_ref());
+    for r in &rows {
         let vals = [
-            r.rpg2.coverage(),
-            r.rpg2.accuracy(),
+            r.rpg2.report.coverage(),
+            r.rpg2.report.accuracy(),
             r.triangel.coverage(),
             r.triangel.accuracy(),
             r.prophet.coverage(),
@@ -24,7 +25,7 @@ fn main() {
         ];
         println!(
             "{:<18} {:>9.3} {:>9.3} | {:>9.3} {:>9.3} | {:>9.3} {:>9.3}",
-            name, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
+            r.workload, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
         );
         for (a, v) in acc.iter_mut().zip(vals) {
             *a += v;

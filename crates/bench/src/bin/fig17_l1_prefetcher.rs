@@ -8,10 +8,8 @@ fn main() {
         l1: L1Scheme::Ipcp,
         ..Harness::default()
     };
-    let rows: Vec<SchemeRow> = SPEC_WORKLOADS
-        .iter()
-        .map(|name| SchemeRow::run(&h, workload(name).as_ref()))
-        .collect();
+    let workloads: Vec<_> = SPEC_WORKLOADS.iter().map(|name| workload(name)).collect();
+    let rows: Vec<SchemeRow> = h.run_matrix(&workloads, 0);
     print_speedup_table(
         "Figure 17: IPCP L1 prefetcher (paper: RPG2 +0.4%, Triangel +17.5%, Prophet +30.0%)",
         &rows,

@@ -9,10 +9,8 @@ fn main() {
         sys: SystemConfig::isca25().with_dram_channels(2),
         ..Harness::default()
     };
-    let rows: Vec<SchemeRow> = SPEC_WORKLOADS
-        .iter()
-        .map(|name| SchemeRow::run(&h, workload(name).as_ref()))
-        .collect();
+    let workloads: Vec<_> = SPEC_WORKLOADS.iter().map(|name| workload(name)).collect();
+    let rows: Vec<SchemeRow> = h.run_matrix(&workloads, 0);
     print_speedup_table(
         "Figure 18: 2 DRAM channels (paper: RPG2 +0.1%, Triangel +18.2%, Prophet +32.3%)",
         &rows,

@@ -1,21 +1,43 @@
 //! A small CLI for running arbitrary experiments:
 //!
 //! ```text
-//! prophet_cli <workload> [scheme ...]
+//! prophet_cli <workload> [scheme ...] [--insts N] [--warmup N] [--jobs N]
 //!   workload: any paper workload name (mcf, gcc_expr, bfs_100000_16, ...)
 //!   schemes:  baseline | triage4 | triangel | rpg2 | prophet (default: all)
+//!   --insts   measured instructions (default 650 000)
+//!   --warmup  warm-up instructions (default 200 000)
+//!   --jobs    parallel workers for the all-schemes matrix (default: cores)
 //! ```
+//!
+//! The workload is sized to cover `warmup + insts` via streaming
+//! generation, so arbitrarily long windows cost time, not memory. With no
+//! scheme filter the four comparison schemes run through the parallel
+//! `run_matrix` harness.
 
-use prophet_bench::Harness;
-use prophet_workloads::workload;
+use prophet_bench::{Harness, RunArgs};
+use prophet_rpg2::Rpg2Result;
+use prophet_sim_core::SimReport;
+use prophet_workloads::workload_sized;
+
+const USAGE: &str = "usage: prophet_cli <workload> [baseline|triage4|triangel|rpg2|prophet ...] \
+     [--insts N] [--warmup N] [--jobs N]";
+
+fn print_rpg2(r: &Rpg2Result, base: &SimReport) {
+    println!(
+        "qualified {:?} distance {:?} speedup {:.3}\n{}",
+        r.qualified_pcs,
+        r.distance,
+        r.report.speedup_over(base),
+        r.report
+    );
+}
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let Some(name) = args.next() else {
-        eprintln!("usage: prophet_cli <workload> [baseline|triage4|triangel|rpg2|prophet ...]");
+    let args = RunArgs::parse_or_exit(USAGE, true);
+    let Some((name, schemes)) = args.rest.split_first() else {
+        eprintln!("{USAGE}");
         std::process::exit(2);
     };
-    let schemes: Vec<String> = args.collect();
     const KNOWN: [&str; 5] = ["baseline", "triage4", "triangel", "rpg2", "prophet"];
     if let Some(bad) = schemes.iter().find(|s| !KNOWN.contains(&s.as_str())) {
         eprintln!(
@@ -27,8 +49,31 @@ fn main() {
     let all = schemes.is_empty();
     let want = |s: &str| all || schemes.iter().any(|x| x == s);
 
-    let h = Harness::default();
-    let w = workload(&name);
+    let h = args.harness(Harness::default());
+    let w = workload_sized(name, h.warmup + h.measure);
+
+    if all {
+        // The four comparison schemes as one matrix row, fanned across the
+        // parallel harness; triage4 runs separately (it is not a matrix
+        // column).
+        let row = &h.run_matrix(std::slice::from_ref(&w), args.jobs)[0];
+        println!("{}", row.base);
+        let r = h.triage4(w.as_ref());
+        println!("speedup {:.3}\n{r}", r.speedup_over(&row.base));
+        println!(
+            "speedup {:.3}\n{}",
+            row.triangel.speedup_over(&row.base),
+            row.triangel
+        );
+        print_rpg2(&row.rpg2, &row.base);
+        println!(
+            "speedup {:.3}\n{}",
+            row.prophet.speedup_over(&row.base),
+            row.prophet
+        );
+        return;
+    }
+
     let base = h.baseline(w.as_ref());
     if want("baseline") {
         println!("{base}");
@@ -42,14 +87,7 @@ fn main() {
         println!("speedup {:.3}\n{r}", r.speedup_over(&base));
     }
     if want("rpg2") {
-        let r = h.rpg2(w.as_ref());
-        println!(
-            "qualified {:?} distance {:?} speedup {:.3}\n{}",
-            r.qualified_pcs,
-            r.distance,
-            r.report.speedup_over(&base),
-            r.report
-        );
+        print_rpg2(&h.rpg2(w.as_ref()), &base);
     }
     if want("prophet") {
         let r = h.prophet(w.as_ref());

@@ -147,12 +147,124 @@ impl Harness {
     }
 }
 
-/// One row of a Figure 10/11/12-style comparison.
-#[derive(Debug, Clone)]
+/// One cell of the scheme×workload matrix ([`Harness::run_matrix`] fans
+/// these across workers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scheme {
+    Baseline,
+    Rpg2,
+    Triangel,
+    Prophet,
+}
+
+const MATRIX_SCHEMES: [Scheme; 4] = [
+    Scheme::Baseline,
+    Scheme::Rpg2,
+    Scheme::Triangel,
+    Scheme::Prophet,
+];
+
+/// What one matrix cell produced (RPG2 keeps its pipeline diagnostics —
+/// qualified PCs and tuned distance — not just the report).
+enum Cell {
+    Sim(SimReport),
+    Rpg2(Rpg2Result),
+}
+
+impl Cell {
+    fn sim(self) -> SimReport {
+        match self {
+            Cell::Sim(r) => r,
+            Cell::Rpg2(r) => r.report,
+        }
+    }
+
+    fn rpg2(self) -> Rpg2Result {
+        match self {
+            Cell::Rpg2(r) => r,
+            Cell::Sim(_) => unreachable!("rpg2 cells carry Cell::Rpg2"),
+        }
+    }
+}
+
+impl Harness {
+    /// Worker count used when the caller passes `jobs = 0`: every core the
+    /// host reports.
+    pub fn default_jobs() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Runs the full scheme×workload grid, fanning the cells (one
+    /// simulation per scheme per workload) across `jobs` scoped threads,
+    /// and returns one [`SchemeRow`] per workload *in input order*.
+    ///
+    /// Determinism: every cell simulates a fresh cursor of a deterministic
+    /// workload on a fresh machine, so no cell depends on which worker runs
+    /// it or when — `jobs = 1` and `jobs = N` produce bit-identical rows
+    /// (the integration test in `crates/bench/tests/determinism.rs` pins
+    /// this). `jobs = 0` means [`Harness::default_jobs`].
+    pub fn run_matrix<W: TraceSource + Sync>(
+        &self,
+        workloads: &[W],
+        jobs: usize,
+    ) -> Vec<SchemeRow> {
+        let jobs = if jobs == 0 {
+            Self::default_jobs()
+        } else {
+            jobs
+        };
+        let cells = workloads.len() * MATRIX_SCHEMES.len();
+        let jobs = jobs.min(cells).max(1);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Vec<std::sync::Mutex<Option<Cell>>> =
+            (0..cells).map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let cell = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if cell >= cells {
+                        break;
+                    }
+                    let w = &workloads[cell / MATRIX_SCHEMES.len()];
+                    let report = match MATRIX_SCHEMES[cell % MATRIX_SCHEMES.len()] {
+                        Scheme::Baseline => Cell::Sim(self.baseline(w)),
+                        Scheme::Rpg2 => Cell::Rpg2(self.rpg2(w)),
+                        Scheme::Triangel => Cell::Sim(self.triangel(w)),
+                        Scheme::Prophet => Cell::Sim(self.prophet(w)),
+                    };
+                    *results[cell].lock().unwrap() = Some(report);
+                });
+            }
+        });
+        let mut reports: Vec<Cell> = results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("every cell ran"))
+            .collect();
+        workloads
+            .iter()
+            .map(|w| {
+                let mut four = reports.drain(..MATRIX_SCHEMES.len());
+                SchemeRow {
+                    workload: w.name(),
+                    base: four.next().unwrap().sim(),
+                    rpg2: four.next().unwrap().rpg2(),
+                    triangel: four.next().unwrap().sim(),
+                    prophet: four.next().unwrap().sim(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One row of a Figure 10/11/12-style comparison. RPG2 keeps its full
+/// pipeline result (qualified PCs, tuned distance) alongside the report.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchemeRow {
     pub workload: String,
     pub base: SimReport,
-    pub rpg2: SimReport,
+    pub rpg2: Rpg2Result,
     pub triangel: SimReport,
     pub prophet: SimReport,
 }
@@ -163,7 +275,7 @@ impl SchemeRow {
         SchemeRow {
             workload: w.name(),
             base: h.baseline(w),
-            rpg2: h.rpg2(w).report,
+            rpg2: h.rpg2(w),
             triangel: h.triangel(w),
             prophet: h.prophet(w),
         }
@@ -172,7 +284,7 @@ impl SchemeRow {
     /// `(rpg2, triangel, prophet)` speedups over the baseline.
     pub fn speedups(&self) -> (f64, f64, f64) {
         (
-            self.rpg2.speedup_over(&self.base),
+            self.rpg2.report.speedup_over(&self.base),
             self.triangel.speedup_over(&self.base),
             self.prophet.speedup_over(&self.base),
         )
@@ -181,10 +293,76 @@ impl SchemeRow {
     /// `(rpg2, triangel, prophet)` DRAM traffic normalized to baseline.
     pub fn traffic(&self) -> (f64, f64, f64) {
         (
-            self.rpg2.traffic_ratio_over(&self.base),
+            self.rpg2.report.traffic_ratio_over(&self.base),
             self.triangel.traffic_ratio_over(&self.base),
             self.prophet.traffic_ratio_over(&self.base),
         )
+    }
+}
+
+/// Windowing/parallelism flags shared by the experiment binaries:
+/// `--insts N` (measured instructions), `--warmup N`, `--jobs N`
+/// (`0` = all cores). Positional arguments pass through in `rest`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunArgs {
+    pub insts: Option<u64>,
+    pub warmup: Option<u64>,
+    pub jobs: usize,
+    pub rest: Vec<String>,
+}
+
+impl RunArgs {
+    /// Parses `args` (without the program name). Returns an error message
+    /// for an unknown `--flag` or a malformed value.
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<RunArgs, String> {
+        let mut out = RunArgs {
+            insts: None,
+            warmup: None,
+            jobs: 0,
+            rest: Vec::new(),
+        };
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            let mut take = |name: &str| -> Result<u64, String> {
+                let v = args.next().ok_or_else(|| format!("{name} needs a value"))?;
+                v.parse().map_err(|_| format!("{name}: not a number: {v}"))
+            };
+            match a.as_str() {
+                "--insts" => out.insts = Some(take("--insts")?),
+                "--warmup" => out.warmup = Some(take("--warmup")?),
+                "--jobs" => out.jobs = take("--jobs")? as usize,
+                f if f.starts_with("--") => return Err(format!("unknown flag: {f}")),
+                _ => out.rest.push(a),
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`RunArgs::parse`] for binary `main`s: prints the error plus
+    /// `usage` and exits 2 on a bad flag — and, unless
+    /// `allow_positionals`, on any positional argument too.
+    pub fn parse_or_exit(usage: &str, allow_positionals: bool) -> RunArgs {
+        match RunArgs::parse(std::env::args().skip(1)) {
+            Ok(a) if allow_positionals || a.rest.is_empty() => a,
+            Ok(a) => {
+                eprintln!("unexpected argument: {}\n{usage}", a.rest[0]);
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("{e}\n{usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// A harness with this window applied over `default` (flags that were
+    /// not given keep the default's values).
+    pub fn harness(&self, default: Harness) -> Harness {
+        Harness {
+            warmup: self.warmup.unwrap_or(default.warmup),
+            measure: self.insts.unwrap_or(default.measure),
+            ..default
+        }
     }
 }
 

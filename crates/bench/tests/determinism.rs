@@ -1,0 +1,76 @@
+//! The determinism contract behind the parallel harness and the streaming
+//! trace path:
+//!
+//! * `Harness::run_matrix` must produce bit-identical `SchemeRow`s
+//!   regardless of worker count — cells only depend on (workload, scheme),
+//!   never on scheduling;
+//! * a streaming `TraceSource` replayed through two independent cursors
+//!   must drive the simulator to identical `SimReport`s.
+//!
+//! Windows are kept small so the whole file runs in seconds; determinism
+//! does not depend on window length.
+
+use prophet_bench::Harness;
+use prophet_sim_core::TraceSource;
+use prophet_workloads::{workload, workload_sized};
+
+fn small_harness() -> Harness {
+    Harness {
+        warmup: 20_000,
+        measure: 60_000,
+        ..Harness::default()
+    }
+}
+
+#[test]
+fn run_matrix_is_independent_of_job_count() {
+    let h = small_harness();
+    // One SPEC-like mix and one CRONO kernel: both generator families go
+    // through the grid.
+    let workloads: Vec<Box<dyn TraceSource + Send + Sync>> =
+        vec![workload("mcf"), workload("bfs_80000_8")];
+    let serial = h.run_matrix(&workloads, 1);
+    let parallel = h.run_matrix(&workloads, 4);
+    assert_eq!(
+        serial, parallel,
+        "scheme×workload results must not depend on worker count"
+    );
+    // Order is input order, not completion order.
+    assert_eq!(serial[0].workload, "mcf");
+    assert_eq!(serial[1].workload, "bfs_80000_8");
+}
+
+#[test]
+fn run_matrix_jobs_zero_means_all_cores() {
+    let h = small_harness();
+    let workloads: Vec<Box<dyn TraceSource + Send + Sync>> = vec![workload("sphinx3")];
+    let auto = h.run_matrix(&workloads, 0);
+    let serial = h.run_matrix(&workloads, 1);
+    assert_eq!(auto, serial);
+}
+
+#[test]
+fn streaming_sources_replay_to_identical_reports() {
+    let h = small_harness();
+    for name in ["omnetpp", "pagerank_100000_100"] {
+        let w = workload_sized(name, h.warmup + h.measure);
+        let first = h.baseline(w.as_ref());
+        let second = h.baseline(w.as_ref());
+        assert_eq!(
+            first, second,
+            "{name}: two cursors of one source must simulate identically"
+        );
+    }
+}
+
+#[test]
+fn streaming_sources_replay_identically_under_prophet() {
+    // The Prophet pipeline re-streams the same source for its profile run
+    // and its optimized run; a full repeat of that double pass must also
+    // agree with itself.
+    let h = small_harness();
+    let w = workload("bfs_80000_8");
+    let first = h.prophet(w.as_ref());
+    let second = h.prophet(w.as_ref());
+    assert_eq!(first, second);
+}

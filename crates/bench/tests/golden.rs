@@ -1,0 +1,61 @@
+//! Golden-output regression tests for the figure binaries.
+//!
+//! Each test runs the real binary (Cargo exposes the path via
+//! `CARGO_BIN_EXE_*`) at a short, fixed window and diffs its stdout
+//! against a checked-in snapshot under `tests/golden/`. The simulator,
+//! generators, and harness are deterministic end to end, so any diff
+//! means a refactor shifted results — exactly what these tests exist to
+//! catch (streaming rewrites, harness parallelism, scheme changes).
+//!
+//! To re-anchor after an *intentional* change, regenerate the snapshot
+//! with the command in each test and commit the diff alongside the
+//! change that caused it.
+
+use std::process::Command;
+
+fn run_golden(exe: &str, args: &[&str], snapshot: &str) {
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} exited with {:?}:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got = String::from_utf8(out.stdout).expect("figure tables are UTF-8");
+    let want = std::fs::read_to_string(snapshot)
+        .unwrap_or_else(|e| panic!("missing snapshot {snapshot}: {e}"));
+    assert_eq!(
+        got,
+        want,
+        "\n{exe} {} diverged from {snapshot};\n\
+         if the change is intentional, regenerate the snapshot with:\n\
+         cargo run --release --bin {} -- {} > {snapshot}\n",
+        args.join(" "),
+        exe.rsplit('/').next().unwrap(),
+        args.join(" "),
+    );
+}
+
+#[test]
+fn fig15_crono_short_window_matches_snapshot() {
+    run_golden(
+        env!("CARGO_BIN_EXE_fig15_crono"),
+        &["--insts", "120000", "--warmup", "150000", "--jobs", "2"],
+        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fig15_crono.txt"),
+    );
+}
+
+#[test]
+fn fig11_traffic_short_window_matches_snapshot() {
+    run_golden(
+        env!("CARGO_BIN_EXE_fig11_traffic"),
+        &["--insts", "120000", "--warmup", "60000", "--jobs", "2"],
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/fig11_traffic.txt"
+        ),
+    );
+}

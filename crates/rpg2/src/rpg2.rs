@@ -21,7 +21,7 @@ pub struct Rpg2Pipeline {
 }
 
 /// Outcome of running the pipeline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Rpg2Result {
     /// PCs that qualified for software prefetching.
     pub qualified_pcs: Vec<u64>,

@@ -41,4 +41,4 @@ pub use engine::{Engine, EngineStats, MemBackend};
 pub use report::{aggregate_weighted, geomean, SimReport};
 pub use sim::{simulate, MemSystem, Simulator, MAX_META_WAYS};
 pub use simpoint::{even_checkpoints, run_checkpoints, Checkpoint};
-pub use trace::{MemOp, TraceInst, TraceSource, VecTrace};
+pub use trace::{CursorIter, MemOp, TraceCursor, TraceInst, TraceSource, VecTrace};

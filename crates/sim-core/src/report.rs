@@ -7,8 +7,10 @@ use prophet_sim_mem::hierarchy::PcMemStats;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Everything measured by one simulation run.
-#[derive(Debug, Clone, Default)]
+/// Everything measured by one simulation run. `PartialEq` compares every
+/// field (the determinism tests assert parallel and replayed runs agree
+/// bit for bit).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
     /// Workload identifier.
     pub workload: String,

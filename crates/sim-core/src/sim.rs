@@ -114,10 +114,10 @@ impl Simulator {
     /// shorter than `warmup + measure`, measurement covers whatever remains
     /// after warm-up.
     pub fn run(&mut self, source: &dyn TraceSource, warmup: u64, measure: u64) -> SimReport {
-        let mut stream = source.stream();
+        let mut cursor = source.cursor();
         let mut fed = 0u64;
         while fed < warmup {
-            match stream.next() {
+            match cursor.next_inst() {
                 Some(inst) => self.step(&inst),
                 None => break,
             }
@@ -126,7 +126,7 @@ impl Simulator {
         self.reset_stats();
         let mut measured = 0u64;
         while measured < measure {
-            match stream.next() {
+            match cursor.next_inst() {
                 Some(inst) => self.step(&inst),
                 None => break,
             }

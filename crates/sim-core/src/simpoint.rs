@@ -10,7 +10,7 @@
 
 use crate::report::{aggregate_weighted, SimReport};
 use crate::sim::Simulator;
-use crate::trace::{TraceInst, TraceSource};
+use crate::trace::{TraceCursor, TraceInst, TraceSource};
 use prophet_prefetch::{L1Prefetcher, L2Prefetcher};
 use prophet_sim_mem::SystemConfig;
 
@@ -40,13 +40,38 @@ impl TraceSource for Windowed<'_> {
         format!("{}@{}", self.inner.name(), self.offset)
     }
 
-    fn stream(&self) -> Box<dyn Iterator<Item = TraceInst> + '_> {
-        Box::new(
-            self.inner
-                .stream()
-                .skip(self.offset as usize)
-                .take(self.len as usize),
-        )
+    fn cursor(&self) -> Box<dyn TraceCursor + '_> {
+        // Skip eagerly so the window's first `next_inst` is the checkpoint
+        // start; the underlying cursor streams, so skipping is O(offset)
+        // time but O(1) memory.
+        let mut inner = self.inner.cursor();
+        let mut skipped = 0u64;
+        while skipped < self.offset {
+            if inner.next_inst().is_none() {
+                break;
+            }
+            skipped += 1;
+        }
+        Box::new(WindowCursor {
+            inner,
+            left: self.len,
+        })
+    }
+}
+
+/// Cursor of [`Windowed`]: at most `left` instructions of the tail.
+struct WindowCursor<'a> {
+    inner: Box<dyn TraceCursor + 'a>,
+    left: u64,
+}
+
+impl TraceCursor for WindowCursor<'_> {
+    fn next_inst(&mut self) -> Option<TraceInst> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        self.inner.next_inst()
     }
 }
 

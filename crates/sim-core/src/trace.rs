@@ -85,19 +85,80 @@ impl TraceInst {
     }
 }
 
+/// A pull-based instruction cursor: the streaming half of a trace.
+///
+/// A cursor owns whatever generator state it needs (RNG, traversal
+/// frontier, position) and produces instructions one at a time, so a
+/// 10 M-instruction trace costs O(1) memory instead of a materialized
+/// `Vec<TraceInst>`. Cursors are *deterministic*: two cursors obtained
+/// from the same [`TraceSource`] must yield identical sequences — the
+/// contract that lets parallel harness workers and repeated pipeline
+/// passes (profile run, optimized run) agree on what the "binary" is.
+pub trait TraceCursor {
+    /// The next instruction, or `None` when the trace is exhausted.
+    fn next_inst(&mut self) -> Option<TraceInst>;
+}
+
+/// Every iterator of instructions is trivially a cursor.
+impl<I: Iterator<Item = TraceInst>> TraceCursor for I {
+    fn next_inst(&mut self) -> Option<TraceInst> {
+        self.next()
+    }
+}
+
+/// Iterator adapter over a [`TraceCursor`] (what [`TraceSource::stream`]
+/// hands to `Iterator`-shaped consumers).
+pub struct CursorIter<'a>(Box<dyn TraceCursor + 'a>);
+
+impl Iterator for CursorIter<'_> {
+    type Item = TraceInst;
+
+    fn next(&mut self) -> Option<TraceInst> {
+        self.0.next_inst()
+    }
+}
+
 /// Anything that can produce a fresh instruction stream on demand.
 ///
 /// Workloads implement this; the simulator consumes one stream for warm-up
 /// and a fresh stream for measurement, and the Prophet pipeline re-runs the
 /// same "binary" several times (profile run, optimized run, new inputs), so
-/// traces must be re-generatable — hence a factory rather than a one-shot
-/// iterator.
+/// traces must be re-generatable — hence a factory of [`TraceCursor`]s
+/// rather than a one-shot iterator. Determinism requirement: every cursor
+/// from one source yields the same sequence (see [`TraceCursor`]); the
+/// parallel harness relies on this to keep results independent of worker
+/// scheduling.
 pub trait TraceSource {
     /// A short identifier (e.g. `"mcf"`, `"gcc_166"`).
     fn name(&self) -> String;
 
-    /// Creates the instruction stream from the beginning.
-    fn stream(&self) -> Box<dyn Iterator<Item = TraceInst> + '_>;
+    /// Starts a fresh pull-based cursor at the beginning of the trace.
+    fn cursor(&self) -> Box<dyn TraceCursor + '_>;
+
+    /// Iterator view of a fresh cursor, for `Iterator`-shaped consumers.
+    fn stream(&self) -> Box<dyn Iterator<Item = TraceInst> + '_> {
+        Box::new(CursorIter(self.cursor()))
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn cursor(&self) -> Box<dyn TraceCursor + '_> {
+        (**self).cursor()
+    }
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn cursor(&self) -> Box<dyn TraceCursor + '_> {
+        (**self).cursor()
+    }
 }
 
 /// A trace held in memory; convenient for tests and tiny examples.
@@ -124,7 +185,7 @@ impl TraceSource for VecTrace {
         self.label.clone()
     }
 
-    fn stream(&self) -> Box<dyn Iterator<Item = TraceInst> + '_> {
+    fn cursor(&self) -> Box<dyn TraceCursor + '_> {
         Box::new(self.insts.iter().copied())
     }
 }
@@ -155,5 +216,35 @@ mod tests {
         assert_eq!(t.stream().count(), 2);
         assert_eq!(t.stream().count(), 2, "stream() restarts from the top");
         assert_eq!(t.name(), "t");
+    }
+
+    #[test]
+    fn cursor_and_stream_agree() {
+        let t = VecTrace::new(
+            "t",
+            vec![
+                TraceInst::op(Pc(1)),
+                TraceInst::load(Pc(2), Addr(64)),
+                TraceInst::store(Pc(3), Addr(128)),
+            ],
+        );
+        let mut c = t.cursor();
+        let mut pulled = Vec::new();
+        while let Some(i) = c.next_inst() {
+            pulled.push(i);
+        }
+        assert_eq!(pulled, t.stream().collect::<Vec<_>>());
+        assert!(c.next_inst().is_none(), "exhausted cursor stays exhausted");
+    }
+
+    #[test]
+    fn source_impls_delegate_through_refs_and_boxes() {
+        let t = VecTrace::new("t", vec![TraceInst::op(Pc(1))]);
+        let by_ref: &dyn TraceSource = &&t;
+        assert_eq!(by_ref.name(), "t");
+        assert_eq!(by_ref.stream().count(), 1);
+        let boxed: Box<dyn TraceSource + Send + Sync> = Box::new(t);
+        assert_eq!(boxed.name(), "t");
+        assert_eq!(boxed.cursor().next_inst(), Some(TraceInst::op(Pc(1))));
     }
 }

@@ -8,14 +8,25 @@
 //! iterations), which is what gives the per-vertex loads their temporal
 //! pattern.
 //!
+//! Generation is *streaming*: [`CronoCursor`] keeps the kernel's live
+//! state (frontier/stack, visited set, scan position) and emits one
+//! vertex-visit worth of instructions at a time, so trace length is bounded
+//! only by `repeats` — memory stays O(graph), independent of instruction
+//! count. [`CronoSpec::with_min_insts`] scales `repeats` to any requested
+//! trace length; this is what lets Figure 15 re-anchor with multi-million
+//! instruction runs where metadata warm-up actually amortizes.
+//!
 //! Workload names follow the paper's Figure 15 labels, e.g.
 //! `bfs_100000_16`, `pagerank_100000_100`, `sssp_100000_5`. Parameters are
 //! scaled down (documented in DESIGN.md) to keep laptop-scale trace
 //! lengths; the first field scales vertex count, the second degree.
 
 use crate::graph::Graph;
-use prophet_sim_core::trace::{TraceInst, TraceSource};
+use crate::mix::MAX_DEP_BACK;
+use prophet_sim_core::trace::{MemOp, TraceCursor, TraceInst, TraceSource};
 use prophet_sim_mem::addr::{Addr, Pc};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// The nine CRONO workload instances of Figure 15.
 pub const CRONO_WORKLOADS: [&str; 9] = [
@@ -50,16 +61,30 @@ pub struct CronoSpec {
     pub seed: u64,
     /// Traversals / iterations per trace.
     pub repeats: usize,
+    /// Vertices visited per traversal pass (the "SimPoint" of the
+    /// kernel). Fixed at 40 000 by the registry — long windows grow the
+    /// *graph*, not the slice (see [`CronoSpec::with_min_insts`]), so
+    /// the per-pass pattern stays within metadata-table reach while the
+    /// footprint spreads.
+    pub slice: usize,
+    /// Memoized graph, shared by every cursor of this spec (the Prophet
+    /// pipeline re-streams a source several times per scheme; rebuilding
+    /// a multi-million-edge CSR each time is pure waste). Keyed by the
+    /// generator parameters so a mutated spec never serves a stale graph.
+    graph_cache: std::sync::OnceLock<((usize, usize, u64), Arc<Graph>)>,
 }
 
 // Memory layout (line addresses). Per-vertex data is 4 bytes (rank /
 // distance), so 16 vertices share a line — with sorted, local adjacency
 // lists the line-level successor stream is stable, which is what real
-// address-correlating prefetchers exploit on graphs. Offsets/edges pack 16
+// address-correlating prefetchers exploit on graphs (and what keeps the
+// per-pass pattern within metadata-table reach). Offsets/edges pack 16
 // u32 values per 64-byte line.
 const OFFSETS_BASE: u64 = 0x0100_0000;
 const EDGES_BASE: u64 = 0x0200_0000;
 const DATA_BASE: u64 = 0x0400_0000;
+
+const DATA_VPL: u64 = 16; // 4-byte per-vertex records, 16 per 64-byte line
 
 const PC_OFFSETS: u64 = 0x9_00;
 const PC_EDGES: u64 = 0x9_01;
@@ -91,39 +116,98 @@ pub fn crono_workload(name: &str) -> CronoSpec {
     // fixed 60k-vertex slice per pass — the SimPoint of the traversal.
     let vertices = (p1 * 2).clamp(200_000, 400_000);
     let degree = p2.clamp(4, 8);
-    let spec = CronoSpec {
+    CronoSpec {
         name: name.to_string(),
         kernel,
         vertices,
         degree,
         seed: 0xC0_50 ^ (p1 as u64) ^ ((p2 as u64) << 20),
         repeats: 2,
-    };
-    spec
+        slice: DEFAULT_SLICE,
+        graph_cache: std::sync::OnceLock::new(),
+    }
 }
 
 impl CronoSpec {
-    fn graph(&self) -> Graph {
-        Graph::clustered(self.vertices, self.degree, self.seed)
+    fn graph(&self) -> Arc<Graph> {
+        let key = (self.vertices, self.degree, self.seed);
+        if let Some((cached_key, g)) = self.graph_cache.get() {
+            if *cached_key == key {
+                return Arc::clone(g);
+            }
+            // A pub field was mutated after the cache filled; serve a
+            // fresh (uncached) graph rather than a stale one.
+            return Arc::new(Graph::clustered(self.vertices, self.degree, self.seed));
+        }
+        let g = Arc::new(Graph::clustered(self.vertices, self.degree, self.seed));
+        let _ = self.graph_cache.set((key, Arc::clone(&g)));
+        g
     }
 
-    /// Generates the full trace.
-    pub fn build(&self) -> Vec<TraceInst> {
-        let g = self.graph();
-        let mut t = TraceBuilder::default();
-        for rep in 0..self.repeats {
-            match self.kernel {
-                CronoKernel::Bfs => bfs(&g, &mut t, rep),
-                CronoKernel::Dfs => dfs(&g, &mut t, rep),
-                CronoKernel::PageRank => pagerank(&g, &mut t),
-                CronoKernel::Sssp => sssp(&g, &mut t),
-                CronoKernel::Bc => {
-                    bfs(&g, &mut t, rep);
-                    backward_sweep(&g, &mut t);
-                }
-            }
+    /// Instructions one kernel pass emits (deterministic). Counted by
+    /// streaming a single-repeat cursor — O(pass) time, O(graph) memory.
+    pub fn pass_insts(&self) -> u64 {
+        // Prime this spec's graph cache first so the throwaway clone (and
+        // every later cursor) shares the Arc instead of rebuilding the CSR.
+        let _ = self.graph();
+        let one = CronoSpec {
+            repeats: 1,
+            ..self.clone()
+        };
+        let mut c = one.cursor();
+        let mut n = 0u64;
+        while c.next_inst().is_some() {
+            n += 1;
         }
-        t.insts
+        n
+    }
+
+    /// Sizes the trace to carry at least `min_insts` instructions — how
+    /// long-window runs size their input without ever materializing it.
+    ///
+    /// Two knobs move together, and never below their defaults:
+    ///
+    /// * for the traversal kernels (bfs/dfs/bc) `vertices` grows toward
+    ///   [`TRAVERSAL_VERTEX_CAP`], the way the paper's 250 M SimPoints
+    ///   come from full-size CRONO inputs: repeating a small graph for
+    ///   millions more instructions lets its working set become
+    ///   cache-resident, and the long run measures residency instead of
+    ///   prefetching. The cap keeps the per-pass *pattern* (distinct
+    ///   trigger lines of the frontier spread) within reach of the 1 MB
+    ///   metadata table — past it every temporal scheme thrashes and the
+    ///   comparison measures table pressure, not policy. Scan kernels
+    ///   (pagerank/sssp) keep their graph: their temporal content is the
+    ///   far-edge loads of the scanned slice, which a bigger graph only
+    ///   spreads past table reach;
+    /// * `repeats` then covers the window, plus one pass of slack so the
+    ///   source never runs dry mid-measurement.
+    pub fn with_min_insts(self, min_insts: u64) -> CronoSpec {
+        let mut pass = self.pass_insts().max(1);
+        let vertices = match self.kernel {
+            CronoKernel::Bfs | CronoKernel::Dfs | CronoKernel::Bc => {
+                let factor = min_insts.div_ceil(2 * pass).clamp(1, 2) as usize;
+                (self.vertices * factor).min(self.vertices.max(TRAVERSAL_VERTEX_CAP))
+            }
+            CronoKernel::PageRank | CronoKernel::Sssp => self.vertices,
+        };
+        let changed = vertices != self.vertices;
+        let mut spec = CronoSpec { vertices, ..self };
+        if changed {
+            // The moved cache (if filled) is keyed to the old graph size;
+            // start clean so the scaled graph memoizes too.
+            spec.graph_cache = std::sync::OnceLock::new();
+            // Pass length shifts with graph size (frontier shapes differ);
+            // recount on the scaled graph.
+            pass = spec.pass_insts().max(1);
+        }
+        spec.repeats = spec.repeats.max(min_insts.div_ceil(pass) as usize + 1);
+        spec
+    }
+
+    /// Materializes the full trace (tests and tiny diagnostics only; real
+    /// consumers pull [`TraceSource::cursor`]).
+    pub fn build(&self) -> Vec<TraceInst> {
+        self.stream().collect()
     }
 }
 
@@ -132,53 +216,61 @@ impl TraceSource for CronoSpec {
         self.name.clone()
     }
 
-    fn stream(&self) -> Box<dyn Iterator<Item = TraceInst> + '_> {
-        Box::new(self.build().into_iter())
+    fn cursor(&self) -> Box<dyn TraceCursor + '_> {
+        Box::new(CronoCursor::new(self))
     }
 }
 
-/// Builds the instruction trace with correct dependency distances.
+/// Emits instructions with correct dependency distances into a small
+/// pending queue (at most one vertex visit deep).
 #[derive(Default)]
-struct TraceBuilder {
-    insts: Vec<TraceInst>,
-    last_load: Option<usize>,
+struct Emitter {
+    pending: VecDeque<TraceInst>,
+    /// Absolute index of the next generated instruction.
+    generated: u64,
+    /// Absolute index of the most recent load.
+    last_load: Option<u64>,
 }
 
-impl TraceBuilder {
+impl Emitter {
     fn load(&mut self, pc: u64, line: u64, depends_on_prev: bool) {
         let dep_back = if depends_on_prev {
             self.last_load.and_then(|li| {
-                let gap = self.insts.len() - li;
-                (gap <= 280).then_some(gap as u32)
+                let gap = self.generated - li;
+                (gap <= MAX_DEP_BACK).then_some(gap as u32)
             })
         } else {
             None
         };
-        let idx = self.insts.len();
-        self.insts.push(TraceInst {
+        let idx = self.generated;
+        self.pending.push_back(TraceInst {
             pc: Pc(pc),
-            op: Some(prophet_sim_core::trace::MemOp::Load(Addr(line * 64))),
+            op: Some(MemOp::Load(Addr(line * 64))),
             dep_back,
         });
+        self.generated += 1;
         self.last_load = Some(idx);
     }
 
     fn store(&mut self, pc: u64, line: u64) {
-        self.insts.push(TraceInst::store(Pc(pc), Addr(line * 64)));
+        self.pending
+            .push_back(TraceInst::store(Pc(pc), Addr(line * 64)));
+        self.generated += 1;
     }
 
     fn alu(&mut self, pc: u64, n: usize) {
         for _ in 0..n {
-            self.insts.push(TraceInst::op(Pc(pc)));
+            self.pending.push_back(TraceInst::op(Pc(pc)));
+            self.generated += 1;
         }
     }
 
-    /// Emits the per-edge access triple shared by all kernels: the edge
-    /// array element (streaming), then the neighbour's data line (indirect,
+    /// The per-edge access triple shared by all kernels: the edge array
+    /// element (streaming), then the neighbour's data line (indirect,
     /// dependent on the edge load).
     fn visit_edge(&mut self, edge_idx: usize, v: u32) {
         self.load(PC_EDGES, EDGES_BASE + (edge_idx as u64) / 16, false);
-        self.load(PC_DATA, DATA_BASE + (v as u64) / 16, true);
+        self.load(PC_DATA, DATA_BASE + (v as u64) / DATA_VPL, true);
         self.alu(PC_DATA, 1);
     }
 
@@ -189,98 +281,194 @@ impl TraceBuilder {
     }
 }
 
-/// Vertices visited per traversal pass (the "SimPoint" of the kernel).
-const SLICE: usize = 40_000;
+/// Default vertices visited per traversal pass (the "SimPoint" of the
+/// kernel).
+const DEFAULT_SLICE: usize = 40_000;
 
-fn bfs(g: &Graph, t: &mut TraceBuilder, rep: usize) {
-    // Repeated queries from the same source: the traversal (and thus the
-    // temporal pattern) repeats across runs.
-    let _ = rep;
-    let n = g.vertices();
-    let start = n / 2;
-    let mut visited = vec![false; n];
-    let mut frontier = vec![start];
-    visited[start] = true;
-    let mut budget = SLICE;
-    while let Some(u) = frontier.pop() {
-        if budget == 0 {
-            break;
+/// Graph size the traversal kernels scale toward at long windows: with a
+/// 40 K-vertex slice this puts the per-pass working set at ~2–4× the 2 MB
+/// LLC (misses persist across repeats) while its distinct-line pattern
+/// still fits the 1 MB metadata table (temporal schemes can learn it).
+pub const TRAVERSAL_VERTEX_CAP: usize = 400_000;
+
+/// Live state of the pass currently being generated.
+enum Phase {
+    /// BFS (`lifo: false`, new vertices queued at the front) or DFS
+    /// (`lifo: true`, stacked at the back); both pop from the back.
+    Traversal {
+        visited: Vec<bool>,
+        pending: VecDeque<usize>,
+        budget: usize,
+        lifo: bool,
+    },
+    /// Forward vertex scan: pagerank power iteration (`stores: All`) or
+    /// Bellman-Ford round (`stores: Conditional`).
+    Scan { u: usize, stores: ScanStores },
+    /// Brandes-style backward dependency accumulation (bc only).
+    Sweep { next: usize },
+}
+
+enum ScanStores {
+    /// pagerank: one rank store per vertex.
+    PerVertex,
+    /// sssp: conditional relaxation store per edge.
+    PerEdge,
+}
+
+/// The resumable streaming generator behind [`CronoSpec`]: graph + kernel
+/// phase state + one pending vertex visit.
+pub struct CronoCursor {
+    g: Arc<Graph>,
+    kernel: CronoKernel,
+    repeats: usize,
+    slice: usize,
+    rep: usize,
+    phase: Option<Phase>,
+    em: Emitter,
+}
+
+impl CronoCursor {
+    fn new(spec: &CronoSpec) -> Self {
+        CronoCursor {
+            g: spec.graph(),
+            kernel: spec.kernel,
+            repeats: spec.repeats,
+            slice: spec.slice,
+            rep: 0,
+            phase: None,
+            em: Emitter::default(),
         }
-        budget -= 1;
-        t.visit_vertex_header(u);
-        let base = g.offsets[u] as usize;
-        for (k, &v) in g.neighbors(u).iter().enumerate() {
-            t.visit_edge(base + k, v);
-            if !visited[v as usize] {
-                visited[v as usize] = true;
-                t.store(PC_AUX, DATA_BASE + (v as u64) / 16);
-                frontier.insert(0, v as usize); // queue order
+    }
+
+    fn start_phase(&mut self) -> Phase {
+        let n = self.g.vertices();
+        let traversal = |start: usize, lifo: bool| {
+            let mut visited = vec![false; n];
+            visited[start] = true;
+            let mut pending = VecDeque::new();
+            pending.push_back(start);
+            Phase::Traversal {
+                visited,
+                pending,
+                budget: self.slice,
+                lifo,
+            }
+        };
+        match self.kernel {
+            CronoKernel::Bfs | CronoKernel::Bc => traversal(n / 2, false),
+            CronoKernel::Dfs => traversal(n / 3, true),
+            CronoKernel::PageRank => Phase::Scan {
+                u: 0,
+                stores: ScanStores::PerVertex,
+            },
+            CronoKernel::Sssp => Phase::Scan {
+                u: 0,
+                stores: ScanStores::PerEdge,
+            },
+        }
+    }
+
+    /// Generates one vertex visit; returns `false` when the phase is done.
+    fn step(&mut self, phase: &mut Phase) -> bool {
+        let g = &self.g;
+        let em = &mut self.em;
+        match phase {
+            Phase::Traversal {
+                visited,
+                pending,
+                budget,
+                lifo,
+            } => {
+                if *budget == 0 {
+                    return false;
+                }
+                let Some(u) = pending.pop_back() else {
+                    return false;
+                };
+                *budget -= 1;
+                em.visit_vertex_header(u);
+                let base = g.offsets[u] as usize;
+                for (k, &v) in g.neighbors(u).iter().enumerate() {
+                    em.visit_edge(base + k, v);
+                    if !visited[v as usize] {
+                        visited[v as usize] = true;
+                        em.store(PC_AUX, DATA_BASE + (v as u64) / DATA_VPL);
+                        if *lifo {
+                            pending.push_back(v as usize); // stack order
+                        } else {
+                            pending.push_front(v as usize); // queue order
+                        }
+                    }
+                }
+                true
+            }
+            Phase::Scan { u, stores } => {
+                if *u >= self.slice.min(g.vertices()) {
+                    return false;
+                }
+                let cur = *u;
+                *u += 1;
+                em.visit_vertex_header(cur);
+                let base = g.offsets[cur] as usize;
+                for (k, &v) in g.neighbors(cur).iter().enumerate() {
+                    em.visit_edge(base + k, v);
+                    if matches!(stores, ScanStores::PerEdge) && (cur + k) % 4 == 0 {
+                        // dist[u] compare + conditional relaxation store.
+                        em.store(PC_AUX, DATA_BASE + (v as u64) / DATA_VPL);
+                    }
+                }
+                if matches!(stores, ScanStores::PerVertex) {
+                    em.store(PC_AUX, DATA_BASE + ((g.vertices() + cur) as u64) / DATA_VPL);
+                }
+                true
+            }
+            Phase::Sweep { next } => {
+                if *next == 0 {
+                    return false;
+                }
+                *next -= 1;
+                let u = *next;
+                em.visit_vertex_header(u);
+                let base = g.offsets[u] as usize;
+                for (k, &v) in g.neighbors(u).iter().enumerate() {
+                    em.visit_edge(base + k, v);
+                }
+                true
             }
         }
     }
 }
 
-fn dfs(g: &Graph, t: &mut TraceBuilder, rep: usize) {
-    let _ = rep;
-    let n = g.vertices();
-    let start = n / 3;
-    let mut visited = vec![false; n];
-    let mut stack = vec![start];
-    visited[start] = true;
-    let mut budget = SLICE;
-    while let Some(u) = stack.pop() {
-        if budget == 0 {
-            break;
-        }
-        budget -= 1;
-        t.visit_vertex_header(u);
-        let base = g.offsets[u] as usize;
-        for (k, &v) in g.neighbors(u).iter().enumerate() {
-            t.visit_edge(base + k, v);
-            if !visited[v as usize] {
-                visited[v as usize] = true;
-                t.store(PC_AUX, DATA_BASE + (v as u64) / 16);
-                stack.push(v as usize);
+impl TraceCursor for CronoCursor {
+    fn next_inst(&mut self) -> Option<TraceInst> {
+        loop {
+            if let Some(inst) = self.em.pending.pop_front() {
+                return Some(inst);
             }
-        }
-    }
-}
-
-fn pagerank(g: &Graph, t: &mut TraceBuilder) {
-    // One power iteration over the slice: identical traversal order every
-    // call — the canonical temporal pattern.
-    for u in 0..SLICE.min(g.vertices()) {
-        t.visit_vertex_header(u);
-        let base = g.offsets[u] as usize;
-        for (k, &v) in g.neighbors(u).iter().enumerate() {
-            t.visit_edge(base + k, v);
-        }
-        t.store(PC_AUX, DATA_BASE + ((g.vertices() + u) as u64) / 16);
-    }
-}
-
-fn sssp(g: &Graph, t: &mut TraceBuilder) {
-    // One Bellman-Ford round over the slice's edges.
-    for u in 0..SLICE.min(g.vertices()) {
-        t.visit_vertex_header(u);
-        let base = g.offsets[u] as usize;
-        for (k, &v) in g.neighbors(u).iter().enumerate() {
-            t.visit_edge(base + k, v);
-            // dist[u] compare + conditional store.
-            if (u + k) % 4 == 0 {
-                t.store(PC_AUX, DATA_BASE + (v as u64) / 16);
+            if self.rep >= self.repeats {
+                return None;
             }
-        }
-    }
-}
-
-fn backward_sweep(g: &Graph, t: &mut TraceBuilder) {
-    // Brandes-style dependency accumulation: reverse order visit.
-    for u in (0..SLICE.min(g.vertices())).rev() {
-        t.visit_vertex_header(u);
-        let base = g.offsets[u] as usize;
-        for (k, &v) in g.neighbors(u).iter().enumerate() {
-            t.visit_edge(base + k, v);
+            let mut phase = match self.phase.take() {
+                Some(p) => p,
+                None => self.start_phase(),
+            };
+            if self.step(&mut phase) {
+                self.phase = Some(phase);
+                continue;
+            }
+            // Phase exhausted: bc chains the backward sweep after its
+            // forward traversal; everything else ends the repeat.
+            match (self.kernel, &phase) {
+                (CronoKernel::Bc, Phase::Traversal { .. }) => {
+                    self.phase = Some(Phase::Sweep {
+                        next: self.slice.min(self.g.vertices()),
+                    });
+                }
+                _ => {
+                    self.phase = None;
+                    self.rep += 1;
+                }
+            }
         }
     }
 }
@@ -353,6 +541,55 @@ mod tests {
         let a = crono_workload("bc_40000_10").build();
         let b = crono_workload("bc_40000_10").build();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replayed_cursors_are_identical() {
+        let spec = crono_workload("bfs_80000_8");
+        let mut a = spec.cursor();
+        let mut b = spec.cursor();
+        for i in 0..200_000 {
+            assert_eq!(a.next_inst(), b.next_inst(), "divergence at inst {i}");
+        }
+    }
+
+    #[test]
+    fn with_min_insts_covers_the_window() {
+        let spec = crono_workload("pagerank_100000_100");
+        let pass = spec.pass_insts();
+        assert!(pass > 100_000, "one pass is substantial: {pass}");
+        let want = 6_000_000u64;
+        let long = spec.clone().with_min_insts(want);
+        let long_pass = long.pass_insts();
+        assert!(
+            long.repeats as u64 * long_pass >= want,
+            "scaled trace must cover the window: {} * {long_pass} < {want}",
+            long.repeats
+        );
+        // Scan kernels keep their graph; traversal kernels grow theirs to
+        // the footprint cap.
+        assert_eq!(long.vertices, spec.vertices);
+        let bfs = crono_workload("bfs_100000_16").with_min_insts(want);
+        assert_eq!(bfs.vertices, TRAVERSAL_VERTEX_CAP);
+        // Never scales below the seed defaults.
+        let short = spec.with_min_insts(1);
+        assert_eq!(short.repeats, 2);
+        assert_eq!(short.slice, DEFAULT_SLICE);
+        let bfs_short = crono_workload("bfs_100000_16").with_min_insts(1);
+        assert_eq!(bfs_short.vertices, 200_000);
+    }
+
+    #[test]
+    fn long_trace_streams_without_materializing() {
+        // 5M+ instructions pulled one at a time; memory stays O(graph)
+        // because only the cursor state lives between pulls.
+        let spec = crono_workload("sssp_100000_5").with_min_insts(5_000_000);
+        let mut c = spec.cursor();
+        let mut n = 0u64;
+        while c.next_inst().is_some() {
+            n += 1;
+        }
+        assert!(n >= 5_000_000, "trace too short: {n}");
     }
 
     #[test]

@@ -38,22 +38,46 @@ pub use spec::{spec_workload, GCC_INPUTS, SPEC_WORKLOADS, TRACE_INSTS};
 
 use prophet_sim_core::TraceSource;
 
-/// Looks up any workload used in the paper's evaluation by name — SPEC-like
-/// recipes (Figures 10–14, 16–19) or CRONO instances (Figure 15).
-///
-/// # Panics
-/// Panics on an unknown name.
-pub fn workload(name: &str) -> Box<dyn TraceSource> {
-    if CRONO_WORKLOADS.contains(&name)
+fn is_crono(name: &str) -> bool {
+    CRONO_WORKLOADS.contains(&name)
         || name.starts_with("bfs_")
         || name.starts_with("dfs_")
         || name.starts_with("bc_")
         || name.starts_with("pagerank_")
         || name.starts_with("sssp_")
-    {
+}
+
+/// Looks up any workload used in the paper's evaluation by name — SPEC-like
+/// recipes (Figures 10–14, 16–19) or CRONO instances (Figure 15). The box
+/// is `Send + Sync` so workloads can be shared across the parallel
+/// harness's workers (specs are plain data; each worker pulls its own
+/// cursor).
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn workload(name: &str) -> Box<dyn TraceSource + Send + Sync> {
+    if is_crono(name) {
         Box::new(crono_workload(name))
     } else {
         Box::new(spec_workload(name))
+    }
+}
+
+/// Like [`workload`], but sized to carry at least `min_insts`
+/// instructions: CRONO kernels repeat until they cover the window, and
+/// SPEC-like mixes extend `total_insts` (generation is streaming, so a
+/// longer trace costs time, not memory). Never shrinks a workload below
+/// its default length.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn workload_sized(name: &str, min_insts: u64) -> Box<dyn TraceSource + Send + Sync> {
+    if is_crono(name) {
+        Box::new(crono_workload(name).with_min_insts(min_insts))
+    } else {
+        let mut w = spec_workload(name);
+        w.total_insts = w.total_insts.max(min_insts);
+        Box::new(w)
     }
 }
 
@@ -66,6 +90,17 @@ mod tests {
         assert_eq!(workload("mcf").name(), "mcf");
         assert_eq!(workload("bfs_100000_16").name(), "bfs_100000_16");
         assert_eq!(workload("gcc_typeck").name(), "gcc_typeck");
+    }
+
+    #[test]
+    fn sized_workloads_cover_the_requested_window() {
+        let w = workload_sized("mcf", 2_000_000);
+        assert_eq!(w.stream().count(), 2_000_000);
+        let g = workload_sized("sssp_100000_5", 3_000_000);
+        assert!(g.stream().count() >= 3_000_000);
+        // Sizing below the default is a no-op.
+        let small = workload_sized("mcf", 10);
+        assert_eq!(small.stream().count() as u64, TRACE_INSTS);
     }
 
     #[test]

@@ -5,11 +5,18 @@
 //! deterministic from the seed) and rewrites each component's internal
 //! "depends on my previous load" links into trace-level `dep_back`
 //! distances, dropping any link that would exceed the ROB window.
+//!
+//! Generation is *streaming*: [`MixCursor`] holds the RNG, the component
+//! states, and one pending burst, so a trace of any length costs O(1)
+//! memory. [`MixSpec::build`] is kept as the materialized reference
+//! implementation — the streaming-equivalence property test pins the
+//! cursor to it instruction for instruction.
 
 use crate::patterns::{PatternSpec, PatternState, ProtoInst};
-use prophet_sim_core::trace::{MemOp, TraceInst, TraceSource};
+use prophet_sim_core::trace::{MemOp, TraceCursor, TraceInst, TraceSource};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 
 /// Dependencies farther back than this are dropped (the ROB bounds how far
 /// the engine can look back; Table 1: 288 entries).
@@ -29,7 +36,11 @@ pub struct MixSpec {
 }
 
 impl MixSpec {
-    /// Generates the full instruction trace.
+    /// Generates the full instruction trace in memory.
+    ///
+    /// This is the pre-streaming reference path; it stays because the
+    /// equivalence property test asserts [`MixCursor`] reproduces it
+    /// exactly. Prefer [`TraceSource::cursor`] everywhere else.
     pub fn build(&self) -> Vec<TraceInst> {
         assert!(!self.parts.is_empty(), "a mix needs at least one component");
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -90,8 +101,109 @@ impl TraceSource for MixSpec {
         self.name.clone()
     }
 
-    fn stream(&self) -> Box<dyn Iterator<Item = TraceInst> + '_> {
-        Box::new(self.build().into_iter())
+    fn cursor(&self) -> Box<dyn TraceCursor + '_> {
+        Box::new(MixCursor::new(self))
+    }
+}
+
+/// Streaming generator state for one [`MixSpec`] trace: the RNG, the
+/// per-component pattern states, and at most one pending burst. Memory is
+/// O(components + burst), independent of `total_insts`.
+///
+/// The draw sequence (component instantiation, weighted picks, bursts) is
+/// identical to [`MixSpec::build`]'s, so the emitted instructions are
+/// bit-identical to the materialized path.
+pub struct MixCursor {
+    rng: StdRng,
+    states: Vec<PatternState>,
+    weights: Vec<f64>,
+    total_w: f64,
+    total_insts: u64,
+    /// Absolute index of the next instruction to be *generated* (matches
+    /// `out.len()` in the materialized path; dep distances key off it).
+    generated: u64,
+    /// Instructions handed out so far; emission stops at `total_insts`
+    /// (the streaming equivalent of the final `truncate`).
+    emitted: u64,
+    /// Per-component absolute index of the most recent load.
+    last_load: Vec<Option<u64>>,
+    /// The tail of the burst currently being drained.
+    pending: VecDeque<TraceInst>,
+    burst: Vec<ProtoInst>,
+}
+
+impl MixCursor {
+    fn new(spec: &MixSpec) -> Self {
+        assert!(!spec.parts.is_empty(), "a mix needs at least one component");
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let states: Vec<PatternState> = spec
+            .parts
+            .iter()
+            .map(|(_, s)| s.instantiate(&mut rng))
+            .collect();
+        let weights: Vec<f64> = spec.parts.iter().map(|(w, _)| *w).collect();
+        let total_w: f64 = weights.iter().sum();
+        assert!(total_w > 0.0, "weights must be positive");
+        MixCursor {
+            rng,
+            last_load: vec![None; states.len()],
+            states,
+            weights,
+            total_w,
+            total_insts: spec.total_insts,
+            generated: 0,
+            emitted: 0,
+            pending: VecDeque::with_capacity(16),
+            burst: Vec::with_capacity(16),
+        }
+    }
+
+    /// Generates the next burst into `pending`.
+    fn refill(&mut self) {
+        let mut pick = self.rng.gen_range(0.0..self.total_w);
+        let mut ci = 0;
+        for (i, w) in self.weights.iter().enumerate() {
+            if pick < *w {
+                ci = i;
+                break;
+            }
+            pick -= w;
+        }
+        self.burst.clear();
+        self.states[ci].burst(&mut self.burst, &mut self.rng);
+        for p in &self.burst {
+            let idx = self.generated;
+            let dep_back = if p.depends_on_prev_load {
+                self.last_load[ci].and_then(|li| {
+                    let gap = idx - li;
+                    (gap <= MAX_DEP_BACK).then_some(gap as u32)
+                })
+            } else {
+                None
+            };
+            self.pending.push_back(TraceInst {
+                pc: p.pc,
+                op: p.op,
+                dep_back,
+            });
+            if matches!(p.op, Some(MemOp::Load(_))) {
+                self.last_load[ci] = Some(idx);
+            }
+            self.generated += 1;
+        }
+    }
+}
+
+impl TraceCursor for MixCursor {
+    fn next_inst(&mut self) -> Option<TraceInst> {
+        if self.emitted >= self.total_insts {
+            return None;
+        }
+        while self.pending.is_empty() {
+            self.refill();
+        }
+        self.emitted += 1;
+        self.pending.pop_front()
     }
 }
 
@@ -185,6 +297,24 @@ mod tests {
         let m = simple_mix();
         assert_eq!(m.stream().count(), 10_000);
         assert_eq!(m.name(), "test");
+    }
+
+    #[test]
+    fn streaming_cursor_matches_materialized_build() {
+        let m = simple_mix();
+        let streamed: Vec<TraceInst> = m.stream().collect();
+        assert_eq!(streamed, m.build(), "cursor must replay build() exactly");
+    }
+
+    #[test]
+    fn cursor_stops_at_total_insts_and_stays_exhausted() {
+        let m = simple_mix();
+        let mut c = m.cursor();
+        for _ in 0..10_000 {
+            assert!(c.next_inst().is_some());
+        }
+        assert!(c.next_inst().is_none());
+        assert!(c.next_inst().is_none());
     }
 
     #[test]

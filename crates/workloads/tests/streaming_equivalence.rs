@@ -1,0 +1,56 @@
+//! Streaming ⇔ materialized equivalence for the workload generators.
+//!
+//! `MixSpec::build` is the pre-streaming reference implementation; the
+//! `MixCursor` streaming path must reproduce it instruction for
+//! instruction, or every figure silently shifts. The deterministic test
+//! pins the first 100 K instructions of *every* `SPEC_WORKLOADS` recipe;
+//! the property test probes random prefixes of random recipes (the shimmed
+//! proptest runs 64 deterministic cases per property).
+
+use prophet_sim_core::{TraceInst, TraceSource};
+use prophet_workloads::{spec_workload, GCC_INPUTS, SPEC_WORKLOADS};
+use proptest::prelude::*;
+
+#[test]
+fn every_spec_workload_streams_its_materialized_prefix() {
+    for name in SPEC_WORKLOADS {
+        let w = spec_workload(name);
+        let built = w.build();
+        let streamed: Vec<TraceInst> = w.stream().take(100_000).collect();
+        assert_eq!(streamed.len(), 100_000, "{name}: trace too short");
+        assert_eq!(
+            streamed,
+            built[..100_000],
+            "{name}: streaming diverges from the materialized path"
+        );
+    }
+}
+
+#[test]
+fn full_length_stream_equals_build_including_truncation() {
+    // The final burst of a mix overruns `total_insts` and is truncated by
+    // the materialized path; the cursor must cut at the same boundary.
+    let w = spec_workload("sphinx3");
+    let streamed: Vec<TraceInst> = w.stream().collect();
+    assert_eq!(streamed, w.build());
+}
+
+proptest! {
+    /// Any prefix of any recipe (primary SPEC set or gcc input family)
+    /// matches the materialized reference.
+    #[test]
+    fn streaming_matches_materialized_at_any_prefix(
+        idx in 0usize..16,
+        len in 1usize..40_000,
+    ) {
+        let name = if idx < SPEC_WORKLOADS.len() {
+            SPEC_WORKLOADS[idx]
+        } else {
+            GCC_INPUTS[idx - SPEC_WORKLOADS.len()]
+        };
+        let w = spec_workload(name);
+        let built = w.build();
+        let streamed: Vec<TraceInst> = w.stream().take(len).collect();
+        prop_assert_eq!(&streamed[..], &built[..len], "{}", name);
+    }
+}
