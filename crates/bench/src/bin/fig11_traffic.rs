@@ -1,16 +1,16 @@
 //! Figure 11: DRAM traffic (reads + writes) normalized to the baseline.
 //!
 //! ```text
-//! fig11_traffic [--insts N] [--warmup N] [--jobs N]
+//! fig11_traffic [--insts N] [--warmup N] [--jobs N] [--store DIR]
 //! ```
 
-use prophet_bench::{Harness, RunArgs};
+use prophet_bench::{report_store_activity, Harness, RunArgs};
 use prophet_sim_core::{geomean, TraceSource};
 use prophet_workloads::{workload_sized, SPEC_WORKLOADS};
 
 fn main() {
     let args = RunArgs::parse_or_exit(
-        "usage: fig11_traffic [--insts N] [--warmup N] [--jobs N]",
+        "usage: fig11_traffic [--insts N] [--warmup N] [--jobs N] [--store DIR]",
         false,
     );
     let h = args.harness(Harness::default());
@@ -18,7 +18,8 @@ fn main() {
         .iter()
         .map(|name| workload_sized(name, h.warmup + h.measure))
         .collect();
-    let rows = h.run_matrix(&workloads, args.jobs);
+    let store = args.open_store();
+    let rows = h.run_matrix_stored(&workloads, args.jobs, store.as_ref());
     println!(
         "Figure 11: normalized DRAM traffic (paper: RPG2 ~1.00, Triangel ~1.10, Prophet ~1.19)"
     );
@@ -41,4 +42,7 @@ fn main() {
         geomean(&cols[1]),
         geomean(&cols[2])
     );
+    if let Some(store) = &store {
+        report_store_activity(store);
+    }
 }

@@ -1,17 +1,30 @@
 //! Figure 12: prefetching coverage (a) and accuracy (b) per scheme.
+//!
+//! ```text
+//! fig12_coverage_accuracy [--insts N] [--warmup N] [--jobs N] [--store DIR]
+//! ```
 
-use prophet_bench::Harness;
-use prophet_workloads::{workload, SPEC_WORKLOADS};
+use prophet_bench::{report_store_activity, Harness, RunArgs};
+use prophet_sim_core::TraceSource;
+use prophet_workloads::{workload_sized, SPEC_WORKLOADS};
 
 fn main() {
-    let h = Harness::default();
+    let args = RunArgs::parse_or_exit(
+        "usage: fig12_coverage_accuracy [--insts N] [--warmup N] [--jobs N] [--store DIR]",
+        false,
+    );
+    let h = args.harness(Harness::default());
     println!("Figure 12: coverage / accuracy");
     println!(
         "{:<18} {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
         "workload", "rpg2 cov", "acc", "tri cov", "acc", "pro cov", "acc"
     );
-    let workloads: Vec<_> = SPEC_WORKLOADS.iter().map(|name| workload(name)).collect();
-    let rows = h.run_matrix(&workloads, 0);
+    let workloads: Vec<Box<dyn TraceSource + Send + Sync>> = SPEC_WORKLOADS
+        .iter()
+        .map(|name| workload_sized(name, h.warmup + h.measure))
+        .collect();
+    let store = args.open_store();
+    let rows = h.run_matrix_stored(&workloads, args.jobs, store.as_ref());
     let mut acc = [0.0f64; 6];
     let mut n = 0.0;
     for r in &rows {
@@ -37,4 +50,7 @@ fn main() {
         "mean",
         acc[0] / n, acc[1] / n, acc[2] / n, acc[3] / n, acc[4] / n, acc[5] / n
     );
+    if let Some(store) = &store {
+        report_store_activity(store);
+    }
 }

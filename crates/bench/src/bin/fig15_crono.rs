@@ -1,24 +1,28 @@
 //! Figure 15: IPC speedup on the CRONO graph workloads.
 //!
 //! ```text
-//! fig15_crono [--insts N] [--warmup N] [--jobs N]
+//! fig15_crono [--insts N] [--warmup N] [--jobs N] [--store DIR]
 //!   --insts   measured instructions per kernel (default 1 000 000;
 //!             the re-anchored EXPERIMENTS.md numbers use 5 000 000)
 //!   --warmup  warm-up instructions (default 1 100 000 — one traversal)
 //!   --jobs    parallel harness workers (default: all cores)
+//!   --store   artifact store: the grid shares one warm-up checkpoint per
+//!             kernel, and a second run against the same store skips the
+//!             warm-up simulations entirely (stdout stays bit-identical —
+//!             pinned by crates/bench/tests/warm_start.rs)
 //! ```
 //!
 //! Workloads are sized to the window via streaming generation (repeats
 //! scale up, memory stays O(graph)), and the scheme×workload grid fans
 //! across `Harness::run_matrix` workers.
 
-use prophet_bench::{print_speedup_table, Harness, RunArgs, SchemeRow};
+use prophet_bench::{print_speedup_table, report_store_activity, Harness, RunArgs, SchemeRow};
 use prophet_sim_core::TraceSource;
 use prophet_workloads::{workload_sized, CRONO_WORKLOADS};
 
 fn main() {
     let args = RunArgs::parse_or_exit(
-        "usage: fig15_crono [--insts N] [--warmup N] [--jobs N]",
+        "usage: fig15_crono [--insts N] [--warmup N] [--jobs N] [--store DIR]",
         false,
     );
     // CRONO traces are one-traversal-per-pass; warm up through the first
@@ -32,9 +36,13 @@ fn main() {
         .iter()
         .map(|name| workload_sized(name, h.warmup + h.measure))
         .collect();
-    let rows: Vec<SchemeRow> = h.run_matrix(&workloads, args.jobs);
+    let store = args.open_store();
+    let rows: Vec<SchemeRow> = h.run_matrix_stored(&workloads, args.jobs, store.as_ref());
     print_speedup_table(
         "Figure 15: CRONO speedups (paper: RPG2 +9.1%, Triangel +8.4%, Prophet +14.9%)",
         &rows,
     );
+    if let Some(store) = &store {
+        report_store_activity(store);
+    }
 }

@@ -1,26 +1,61 @@
-//! A small CLI for running arbitrary experiments:
+//! The Prophet CLI: ad-hoc experiments plus the paper's two-phase
+//! offline/online workflow over the persistent artifact store.
 //!
 //! ```text
-//! prophet_cli <workload> [scheme ...] [--insts N] [--warmup N] [--jobs N]
+//! prophet_cli <workload> [scheme ...] [--insts N] [--warmup N] [--jobs N] [--store DIR]
 //!   workload: any paper workload name (mcf, gcc_expr, bfs_100000_16, ...)
 //!   schemes:  baseline | triage4 | triangel | rpg2 | prophet (default: all)
-//!   --insts   measured instructions (default 650 000)
-//!   --warmup  warm-up instructions (default 200 000)
-//!   --jobs    parallel workers for the all-schemes matrix (default: cores)
+//!   --store   share one warm-up checkpoint across the all-schemes matrix
+//!
+//! prophet_cli profile <workload> --store DIR [--insts N] [--warmup N] [--hints-out FILE]
+//!   Step 1/3 (offline): run the simplified profiling prefetcher, merge the
+//!   counters into the store's profile artifact (Eq. 4/5 across repeated
+//!   invocations), and optionally export the analyzed hints.
+//!
+//! prophet_cli optimize <workload> --store DIR [--insts N] [--warmup N] [--hints-out FILE]
+//!   Step 2 (offline): analysis only — read the stored profile, emit the
+//!   hint-set artifact (the "optimized binary" payload). No simulation.
+//!
+//! prophet_cli run <workload> --hints FILE [--insts N] [--warmup N]
+//!   Online phase: simulate the workload under full Prophet driven by a
+//!   previously exported hint file, against the no-temporal baseline.
 //! ```
 //!
-//! The workload is sized to cover `warmup + insts` via streaming
-//! generation, so arbitrarily long windows cost time, not memory. With no
-//! scheme filter the four comparison schemes run through the parallel
-//! `run_matrix` harness.
+//! Windows default to 650 000 measured / 200 000 warm-up instructions;
+//! workloads are sized to cover `warmup + insts` via streaming generation.
 
-use prophet_bench::{Harness, RunArgs};
+use prophet::{analyze, AnalysisConfig, LearnedProfile, Prophet, ProphetConfig};
+use prophet_bench::{report_store_activity, Harness, RunArgs};
+use prophet_prefetch::NoL2Prefetch;
 use prophet_rpg2::Rpg2Result;
-use prophet_sim_core::SimReport;
+use prophet_sim_core::{simulate, SimReport};
+use prophet_store::{
+    read_hints_file, write_hints_file, ArtifactStore, ProfileArtifact, StoreError,
+};
 use prophet_workloads::workload_sized;
 
 const USAGE: &str = "usage: prophet_cli <workload> [baseline|triage4|triangel|rpg2|prophet ...] \
-     [--insts N] [--warmup N] [--jobs N]";
+     [--insts N] [--warmup N] [--jobs N] [--store DIR]
+       prophet_cli profile  <workload> --store DIR [--insts N] [--warmup N] [--hints-out FILE]
+       prophet_cli optimize <workload> --store DIR [--insts N] [--warmup N] [--hints-out FILE]
+       prophet_cli run      <workload> --hints FILE [--insts N] [--warmup N]";
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Removes `--flag VALUE` from `raw`, returning the value (the flags only
+/// this binary understands, filtered out before the shared parser runs).
+fn take_flag(raw: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = raw.iter().position(|a| a == flag)?;
+    if i + 1 >= raw.len() {
+        die(&format!("{flag} needs a value"));
+    }
+    let v = raw.remove(i + 1);
+    raw.remove(i);
+    Some(v)
+}
 
 fn print_rpg2(r: &Rpg2Result, base: &SimReport) {
     println!(
@@ -32,19 +67,193 @@ fn print_rpg2(r: &Rpg2Result, base: &SimReport) {
     );
 }
 
-fn main() {
-    let args = RunArgs::parse_or_exit(USAGE, true);
-    let Some((name, schemes)) = args.rest.split_first() else {
-        eprintln!("{USAGE}");
-        std::process::exit(2);
+fn require_store(args: &RunArgs) -> ArtifactStore {
+    args.open_store()
+        .unwrap_or_else(|| die("this subcommand needs --store DIR"))
+}
+
+/// Step 1/3: profile `name` and merge into the store's artifact.
+fn cmd_profile(args: &RunArgs, name: &str, hints_out: Option<String>) {
+    let store = require_store(args);
+    let h = args.harness(Harness::default());
+    let w = workload_sized(name, h.warmup + h.measure);
+    let key = h.profile_key(w.as_ref());
+
+    let mut learned = match store.load_profile(&key) {
+        Ok(Some(ProfileArtifact { counters, loops })) => {
+            eprintln!("store: resuming profile artifact at loop {loops}");
+            LearnedProfile::resume(counters, loops)
+        }
+        Ok(None) => LearnedProfile::new(),
+        // A decode failure means the file is junk (corrupt, foreign,
+        // old format) — restarting the merge is the only option. An I/O
+        // failure may be transient (permissions, network filesystem);
+        // overwriting would clobber irreplaceable merged loop history,
+        // so abort instead.
+        Err(e @ StoreError::Decode(_)) => {
+            eprintln!("store: restarting over undecodable profile artifact: {e}");
+            LearnedProfile::new()
+        }
+        Err(e) => die(&format!(
+            "cannot read existing profile artifact (not overwriting \
+             merged loop history): {e}"
+        )),
     };
+    let (counters, report) = prophet::profile_workload(&h.sys, w.as_ref(), h.warmup, h.measure);
+    learned.learn(counters);
+    let artifact = ProfileArtifact {
+        counters: learned.counters().expect("just learned").clone(),
+        loops: learned.loops(),
+    };
+    let path = store
+        .save_profile(&key, &artifact)
+        .unwrap_or_else(|e| die(&format!("cannot save profile artifact: {e}")));
+
+    let hints = learned.build_hints(&AnalysisConfig::default());
+    println!("{report}");
+    println!(
+        "profiled {name}: {} PCs, {:.0} allocated entries, loop {} -> {}",
+        artifact.counters.per_pc.len(),
+        artifact.counters.allocated_entries(),
+        artifact.loops,
+        path.display()
+    );
+    println!(
+        "analysis: {} hinted PCs, csr enabled={} meta_ways={}",
+        hints.pc_hints.len(),
+        hints.csr.enabled,
+        hints.csr.meta_ways
+    );
+    if let Some(out) = hints_out {
+        write_hints_file(&out, &key, &hints)
+            .unwrap_or_else(|e| die(&format!("cannot write hints file {out}: {e}")));
+        println!("hints written to {out}");
+    }
+}
+
+/// Step 2: analysis only — stored profile in, hint artifact out.
+fn cmd_optimize(args: &RunArgs, name: &str, hints_out: Option<String>) {
+    let store = require_store(args);
+    let h = args.harness(Harness::default());
+    let w = workload_sized(name, h.warmup + h.measure);
+    let key = h.profile_key(w.as_ref());
+    let artifact = match store.load_profile(&key) {
+        Ok(Some(a)) => a,
+        Ok(None) => {
+            eprintln!(
+                "no profile artifact for {name} at this window; run \
+                 `prophet_cli profile {name} --store {}` first",
+                store.dir().display()
+            );
+            std::process::exit(1);
+        }
+        Err(e) => die(&format!("unreadable profile artifact: {e}")),
+    };
+    let hints = analyze(&artifact.counters, &AnalysisConfig::default());
+    let path = match hints_out {
+        Some(out) => {
+            write_hints_file(&out, &key, &hints)
+                .unwrap_or_else(|e| die(&format!("cannot write hints file {out}: {e}")));
+            std::path::PathBuf::from(out)
+        }
+        None => store
+            .save_hints(&key, &hints)
+            .unwrap_or_else(|e| die(&format!("cannot save hints: {e}"))),
+    };
+    println!(
+        "optimized {name}: {} hinted PCs ({} hint instructions), csr enabled={} meta_ways={}",
+        hints.pc_hints.len(),
+        hints.instruction_overhead(),
+        hints.csr.enabled,
+        hints.csr.meta_ways
+    );
+    println!("hints written to {}", path.display());
+}
+
+/// Online phase: run full Prophet from an exported hint file.
+fn cmd_run(args: &RunArgs, name: &str, hints_path: &str) {
+    let (key, hints) = read_hints_file(hints_path)
+        .unwrap_or_else(|e| die(&format!("cannot read hints file {hints_path}: {e}")));
+    let h = args.harness(Harness::default());
+    let w = workload_sized(name, h.warmup + h.measure);
+    let expected = h.profile_key(w.as_ref());
+    if key != expected {
+        eprintln!(
+            "warning: hints were produced at a different coordinate; applying anyway\n\
+             \thints:    workload `{}` config {:016x} warmup {} measure {}\n\
+             \tthis run: workload `{}` config {:016x} warmup {} measure {}",
+            key.workload,
+            key.config,
+            key.warmup,
+            key.measure,
+            expected.workload,
+            expected.config,
+            expected.warmup,
+            expected.measure,
+        );
+    }
+    let base = simulate(
+        &h.sys,
+        w.as_ref(),
+        h.l1.build(),
+        Box::new(NoL2Prefetch),
+        h.warmup,
+        h.measure,
+    );
+    println!("{base}");
+    let prophet = Prophet::new(ProphetConfig::default(), &hints);
+    let r = simulate(
+        &h.sys,
+        w.as_ref(),
+        h.l1.build(),
+        Box::new(prophet),
+        h.warmup,
+        h.measure,
+    );
+    println!("speedup {:.3}\n{r}", r.speedup_over(&base));
+}
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let hints_out = take_flag(&mut raw, "--hints-out");
+    let hints_in = take_flag(&mut raw, "--hints");
+    let args = match RunArgs::parse(raw.into_iter()) {
+        Ok(a) => a,
+        Err(e) => die(&e),
+    };
+    let Some((first, rest)) = args.rest.split_first() else {
+        die("missing workload");
+    };
+
+    match first.as_str() {
+        "profile" | "optimize" | "run" => {
+            let [name] = rest else {
+                die(&format!("{first} needs exactly one workload"));
+            };
+            match first.as_str() {
+                "profile" => cmd_profile(&args, name, hints_out),
+                "optimize" => cmd_optimize(&args, name, hints_out),
+                "run" => {
+                    let Some(hints) = hints_in else {
+                        die("run needs --hints FILE");
+                    };
+                    cmd_run(&args, name, &hints);
+                }
+                _ => unreachable!(),
+            }
+            return;
+        }
+        _ => {}
+    }
+
+    // Legacy scheme mode.
+    let (name, schemes) = (first, rest);
     const KNOWN: [&str; 5] = ["baseline", "triage4", "triangel", "rpg2", "prophet"];
     if let Some(bad) = schemes.iter().find(|s| !KNOWN.contains(&s.as_str())) {
-        eprintln!(
+        die(&format!(
             "unknown scheme: {bad} (expected one of {})",
             KNOWN.join("|")
-        );
-        std::process::exit(2);
+        ));
     }
     let all = schemes.is_empty();
     let want = |s: &str| all || schemes.iter().any(|x| x == s);
@@ -54,9 +263,10 @@ fn main() {
 
     if all {
         // The four comparison schemes as one matrix row, fanned across the
-        // parallel harness; triage4 runs separately (it is not a matrix
-        // column).
-        let row = &h.run_matrix(std::slice::from_ref(&w), args.jobs)[0];
+        // parallel harness (sharing one warm-up when a store is given);
+        // triage4 runs separately (it is not a matrix column).
+        let store = args.open_store();
+        let row = &h.run_matrix_stored(std::slice::from_ref(&w), args.jobs, store.as_ref())[0];
         println!("{}", row.base);
         let r = h.triage4(w.as_ref());
         println!("speedup {:.3}\n{r}", r.speedup_over(&row.base));
@@ -71,6 +281,9 @@ fn main() {
             row.prophet.speedup_over(&row.base),
             row.prophet
         );
+        if let Some(store) = &store {
+            report_store_activity(store);
+        }
         return;
     }
 

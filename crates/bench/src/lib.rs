@@ -4,12 +4,19 @@
 //! paper. One binary per experiment lives in `src/bin/` (see EXPERIMENTS.md
 //! for the index); this library holds the shared runners.
 
-use prophet::{AnalysisConfig, ProphetConfig, ProphetPipeline, RunLengths};
+use prophet::{
+    AnalysisConfig, LearnedProfile, ProfileCounters, Prophet, ProphetConfig, ProphetPipeline,
+    RunLengths, SimplifiedTp,
+};
 use prophet_prefetch::{IpcpPrefetcher, L1Prefetcher, NoL2Prefetch, StridePrefetcher};
 use prophet_rpg2::{Rpg2Pipeline, Rpg2Result};
-use prophet_sim_core::{simulate, SimReport, TraceSource};
-use prophet_sim_mem::SystemConfig;
-use prophet_temporal::{Triage, Triangel, TriangelConfig};
+use prophet_sim_core::{simulate, Engine, MemBackend, SimReport, TraceSource, WarmStart};
+use prophet_sim_mem::addr::{Addr, Cycle, Pc};
+use prophet_sim_mem::{Hierarchy, SystemConfig};
+use prophet_store::{
+    config_digest, decode_checkpoint, encode_checkpoint, ArtifactStore, StoreKey, WarmupCheckpoint,
+};
+use prophet_temporal::{TemporalConfig, TemporalEngine, Triage, Triangel, TriangelConfig};
 
 /// Which L1 prefetcher a run uses (Figure 17 swaps stride for IPCP).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,10 +26,19 @@ pub enum L1Scheme {
 }
 
 impl L1Scheme {
-    fn build(self) -> Box<dyn L1Prefetcher> {
+    /// Instantiates the prefetcher.
+    pub fn build(self) -> Box<dyn L1Prefetcher> {
         match self {
             L1Scheme::Stride => Box::new(StridePrefetcher::default()),
             L1Scheme::Ipcp => Box::new(IpcpPrefetcher::default()),
+        }
+    }
+
+    /// Stable tag used in store keys.
+    fn tag(self) -> &'static str {
+        match self {
+            L1Scheme::Stride => "stride",
+            L1Scheme::Ipcp => "ipcp",
         }
     }
 }
@@ -147,6 +163,219 @@ impl Harness {
     }
 }
 
+/// The scheme-independent warm-up machine: the baseline memory system (L1
+/// prefetcher on, no L2 prefetcher, unpartitioned LLC) plus a *passive*
+/// temporal observer — a simplified-configuration engine that trains on the
+/// L2 stream but never prefetches and never partitions. Its post-warm-up
+/// state is exactly what a [`WarmupCheckpoint`] persists; every scheme then
+/// applies its own partition/policies at the measurement boundary (the
+/// checkpoint-validity rule, DESIGN.md §6).
+struct WarmupMachine {
+    mem: Hierarchy,
+    l1pf: Box<dyn L1Prefetcher>,
+    observer: TemporalEngine,
+}
+
+impl WarmupMachine {
+    fn observe(&mut self, ev: &prophet_sim_mem::hierarchy::L2Event) {
+        // Train and look up (lookups refresh replacement recency exactly as
+        // the profiling prefetcher would) but discard all decisions.
+        let _ = self.observer.on_access(ev, None);
+        self.observer.drain_evictions();
+    }
+}
+
+impl MemBackend for WarmupMachine {
+    fn access(&mut self, pc: Pc, addr: Addr, is_store: bool, now: Cycle) -> Cycle {
+        let out = self.mem.demand_access(pc, addr.line(), is_store, now);
+        if let Some(ev) = out.l2_event {
+            self.observe(&ev);
+        }
+        // Mirror the live simulator's wiring: L1-prefetch requests that
+        // propagate past the L1 appear in the L2 stream too (Section 5.1).
+        for target in self.l1pf.on_l1_access(pc, addr, out.l1_hit) {
+            if let Some(ev) = self.mem.l1_prefetch(pc, target.line(), now) {
+                self.observe(&ev);
+            }
+        }
+        out.latency
+    }
+}
+
+impl Harness {
+    /// The workload spec string used in store keys: the registry name plus
+    /// everything else that shapes the generated trace (window sizing — a
+    /// longer window can change a CRONO graph, not just its length — and
+    /// the L1 scheme).
+    fn workload_spec(&self, w: &dyn TraceSource) -> String {
+        format!(
+            "{}@{}+l1={}",
+            w.name(),
+            self.warmup + self.measure,
+            self.l1.tag()
+        )
+    }
+
+    /// Store key of this harness's warm-up checkpoint for `w`. Checkpoints
+    /// are measurement-length independent only through the spec string's
+    /// sizing (a different `--insts` can regenerate a different trace), so
+    /// the explicit `measure` field stays zero.
+    pub fn checkpoint_key(&self, w: &dyn TraceSource) -> StoreKey {
+        StoreKey {
+            workload: self.workload_spec(w),
+            config: config_digest(&self.sys),
+            warmup: self.warmup,
+            measure: 0,
+        }
+    }
+
+    /// Store key of a profile artifact for `w` (profiles depend on the
+    /// measurement window too).
+    pub fn profile_key(&self, w: &dyn TraceSource) -> StoreKey {
+        StoreKey {
+            workload: self.workload_spec(w),
+            config: config_digest(&self.sys),
+            warmup: self.warmup,
+            measure: self.measure,
+        }
+    }
+
+    /// Simulates the scheme-independent warm-up of `w` and captures it as
+    /// a checkpoint: machine state ([`WarmStart`]) plus the passively
+    /// trained temporal state.
+    pub fn build_checkpoint(&self, w: &dyn TraceSource) -> WarmupCheckpoint {
+        let mut engine = Engine::new(self.sys.core);
+        let mut machine = WarmupMachine {
+            mem: Hierarchy::new(&self.sys),
+            l1pf: self.l1.build(),
+            observer: TemporalEngine::new(TemporalConfig::simplified_profiling()),
+        };
+        let mut cursor = w.cursor();
+        let mut fed = 0u64;
+        while fed < self.warmup {
+            match cursor.next_inst() {
+                Some(inst) => engine.step(&inst, &mut machine),
+                None => break,
+            }
+            fed += 1;
+        }
+        WarmupCheckpoint {
+            warm: WarmStart {
+                engine: engine.snapshot(),
+                memory: machine.mem.snapshot(),
+                warmup: self.warmup,
+            },
+            temporal: machine.observer.warmup_snapshot(),
+        }
+    }
+
+    /// Loads `w`'s checkpoint from the store, or builds and saves it. The
+    /// built checkpoint is returned *through the codec* (encode → decode),
+    /// so a cold run and a later warm run restore bit-identical state —
+    /// the property the warm-start golden test pins.
+    pub fn checkpoint_via_store(
+        &self,
+        store: &ArtifactStore,
+        w: &dyn TraceSource,
+    ) -> WarmupCheckpoint {
+        let key = self.checkpoint_key(w);
+        match store.load_checkpoint(&key) {
+            Ok(Some(ckpt)) => return ckpt,
+            Ok(None) => {}
+            Err(e) => eprintln!(
+                "store: ignoring unreadable checkpoint for {}: {e}",
+                key.workload
+            ),
+        }
+        let ckpt = self.build_checkpoint(w);
+        let bytes = encode_checkpoint(&key, &ckpt);
+        let (_, round_tripped) =
+            decode_checkpoint(&bytes).expect("freshly encoded checkpoint must decode");
+        if let Err(e) = store.save_checkpoint(&key, &ckpt) {
+            eprintln!("store: could not save checkpoint for {}: {e}", key.workload);
+        }
+        round_tripped
+    }
+
+    /// Baseline measurement from a shared warm-up checkpoint.
+    pub fn baseline_warm(&self, w: &dyn TraceSource, ckpt: &WarmupCheckpoint) -> SimReport {
+        ckpt.warm.simulate(
+            &self.sys,
+            w,
+            self.l1.build(),
+            Box::new(NoL2Prefetch),
+            self.measure,
+        )
+    }
+
+    /// Triangel measurement from a shared warm-up checkpoint (table +
+    /// trainer seeded from the checkpoint's passive training).
+    pub fn triangel_warm(&self, w: &dyn TraceSource, ckpt: &WarmupCheckpoint) -> SimReport {
+        let mut tp = Triangel::new(TriangelConfig::default());
+        tp.seed_warmup(&ckpt.temporal);
+        ckpt.warm
+            .simulate(&self.sys, w, self.l1.build(), Box::new(tp), self.measure)
+    }
+
+    /// Triage-degree-4 measurement from a shared warm-up checkpoint.
+    pub fn triage4_warm(&self, w: &dyn TraceSource, ckpt: &WarmupCheckpoint) -> SimReport {
+        let mut tp = Triage::degree4();
+        tp.seed_warmup(&ckpt.temporal);
+        ckpt.warm
+            .simulate(&self.sys, w, self.l1.build(), Box::new(tp), self.measure)
+    }
+
+    /// RPG2's identify → instrument → tune pipeline from a shared warm-up
+    /// checkpoint (every internal pass warm-starts).
+    pub fn rpg2_warm(&self, w: &dyn TraceSource, ckpt: &WarmupCheckpoint) -> Rpg2Result {
+        Rpg2Pipeline::new(self.sys.clone(), self.warmup, self.measure).run_warm(w, &ckpt.warm)
+    }
+
+    /// Full Prophet from a shared warm-up checkpoint: the profiling pass
+    /// runs the simplified prefetcher seeded with the checkpoint's temporal
+    /// state, analysis derives the hints, and the optimized pass runs
+    /// Prophet seeded the same way. Mirrors [`Harness::prophet`], minus the
+    /// per-phase warm-up re-simulation. Returns `(report, counters)` so a
+    /// caller with a store can persist the profile artifact.
+    pub fn prophet_warm_with_profile(
+        &self,
+        w: &dyn TraceSource,
+        ckpt: &WarmupCheckpoint,
+    ) -> (SimReport, ProfileCounters) {
+        // Step 1: profile (the paper profiles under the stride L1).
+        let mut tp = SimplifiedTp::new();
+        tp.seed_warmup(&ckpt.temporal);
+        let profile_report = ckpt.warm.simulate(
+            &self.sys,
+            w,
+            Box::new(StridePrefetcher::default()),
+            Box::new(tp),
+            self.measure,
+        );
+        let counters = ProfileCounters::from_report(&profile_report);
+        // Steps 2–3: learn + analyze.
+        let mut learned = LearnedProfile::new();
+        learned.learn(counters.clone());
+        let hints = learned.build_hints(&AnalysisConfig::default());
+        // Optimized run under full Prophet.
+        let mut prophet = Prophet::new(ProphetConfig::default(), &hints);
+        prophet.seed_warmup(&ckpt.temporal);
+        let report = ckpt.warm.simulate(
+            &self.sys,
+            w,
+            self.l1.build(),
+            Box::new(prophet),
+            self.measure,
+        );
+        (report, counters)
+    }
+
+    /// [`Harness::prophet_warm_with_profile`], report only.
+    pub fn prophet_warm(&self, w: &dyn TraceSource, ckpt: &WarmupCheckpoint) -> SimReport {
+        self.prophet_warm_with_profile(w, ckpt).0
+    }
+}
+
 /// One cell of the scheme×workload matrix ([`Harness::run_matrix`] fans
 /// these across workers).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -187,6 +416,31 @@ impl Cell {
     }
 }
 
+/// Fans `count` independent tasks across `jobs` scoped worker threads and
+/// returns the results in task order. Tasks must be order-independent —
+/// the determinism tests pin that `jobs = 1` and `jobs = N` agree.
+fn parallel_tasks<T: Send>(count: usize, jobs: usize, run: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let jobs = jobs.min(count).max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<T>>> =
+        (0..count).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                *results[i].lock().unwrap() = Some(run(i));
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every task ran"))
+        .collect()
+}
+
 impl Harness {
     /// Worker count used when the caller passes `jobs = 0`: every core the
     /// host reports.
@@ -210,38 +464,57 @@ impl Harness {
         workloads: &[W],
         jobs: usize,
     ) -> Vec<SchemeRow> {
+        self.run_matrix_stored(workloads, jobs, None)
+    }
+
+    /// [`Harness::run_matrix`] with an optional artifact store. With a
+    /// store, the grid shares **one scheme-independent warm-up per
+    /// workload**: phase 1 loads (or builds and saves) each workload's
+    /// [`WarmupCheckpoint`], phase 2 fans the scheme cells out from those
+    /// checkpoints — instead of re-simulating the warm-up up to six times
+    /// per workload (baseline, Triangel, Prophet's two passes, RPG2's
+    /// identification + distance sweep). A later run against the same
+    /// store skips phase 1's simulations entirely and, because cold runs
+    /// round-trip their checkpoints through the codec before use, produces
+    /// bit-identical rows.
+    pub fn run_matrix_stored<W: TraceSource + Sync>(
+        &self,
+        workloads: &[W],
+        jobs: usize,
+        store: Option<&ArtifactStore>,
+    ) -> Vec<SchemeRow> {
         let jobs = if jobs == 0 {
             Self::default_jobs()
         } else {
             jobs
         };
+        let ckpts: Option<Vec<WarmupCheckpoint>> = store.map(|store| {
+            parallel_tasks(workloads.len(), jobs, |i| {
+                self.checkpoint_via_store(store, &workloads[i])
+            })
+        });
         let cells = workloads.len() * MATRIX_SCHEMES.len();
-        let jobs = jobs.min(cells).max(1);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: Vec<std::sync::Mutex<Option<Cell>>> =
-            (0..cells).map(|_| std::sync::Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let cell = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if cell >= cells {
-                        break;
+        let mut reports: Vec<Cell> = parallel_tasks(cells, jobs, |cell| {
+            let w = &workloads[cell / MATRIX_SCHEMES.len()];
+            let scheme = MATRIX_SCHEMES[cell % MATRIX_SCHEMES.len()];
+            match &ckpts {
+                None => match scheme {
+                    Scheme::Baseline => Cell::Sim(self.baseline(w)),
+                    Scheme::Rpg2 => Cell::Rpg2(self.rpg2(w)),
+                    Scheme::Triangel => Cell::Sim(self.triangel(w)),
+                    Scheme::Prophet => Cell::Sim(self.prophet(w)),
+                },
+                Some(ckpts) => {
+                    let ckpt = &ckpts[cell / MATRIX_SCHEMES.len()];
+                    match scheme {
+                        Scheme::Baseline => Cell::Sim(self.baseline_warm(w, ckpt)),
+                        Scheme::Rpg2 => Cell::Rpg2(self.rpg2_warm(w, ckpt)),
+                        Scheme::Triangel => Cell::Sim(self.triangel_warm(w, ckpt)),
+                        Scheme::Prophet => Cell::Sim(self.prophet_warm(w, ckpt)),
                     }
-                    let w = &workloads[cell / MATRIX_SCHEMES.len()];
-                    let report = match MATRIX_SCHEMES[cell % MATRIX_SCHEMES.len()] {
-                        Scheme::Baseline => Cell::Sim(self.baseline(w)),
-                        Scheme::Rpg2 => Cell::Rpg2(self.rpg2(w)),
-                        Scheme::Triangel => Cell::Sim(self.triangel(w)),
-                        Scheme::Prophet => Cell::Sim(self.prophet(w)),
-                    };
-                    *results[cell].lock().unwrap() = Some(report);
-                });
+                }
             }
         });
-        let mut reports: Vec<Cell> = results
-            .into_iter()
-            .map(|m| m.into_inner().unwrap().expect("every cell ran"))
-            .collect();
         workloads
             .iter()
             .map(|w| {
@@ -300,14 +573,16 @@ impl SchemeRow {
     }
 }
 
-/// Windowing/parallelism flags shared by the experiment binaries:
-/// `--insts N` (measured instructions), `--warmup N`, `--jobs N`
-/// (`0` = all cores). Positional arguments pass through in `rest`.
+/// Windowing/parallelism/persistence flags shared by the experiment
+/// binaries: `--insts N` (measured instructions), `--warmup N`, `--jobs N`
+/// (`0` = all cores), `--store DIR` (artifact store for checkpointed
+/// warm-up reuse). Positional arguments pass through in `rest`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunArgs {
     pub insts: Option<u64>,
     pub warmup: Option<u64>,
     pub jobs: usize,
+    pub store: Option<String>,
     pub rest: Vec<String>,
 }
 
@@ -319,6 +594,7 @@ impl RunArgs {
             insts: None,
             warmup: None,
             jobs: 0,
+            store: None,
             rest: Vec::new(),
         };
         let mut args = args.peekable();
@@ -331,11 +607,28 @@ impl RunArgs {
                 "--insts" => out.insts = Some(take("--insts")?),
                 "--warmup" => out.warmup = Some(take("--warmup")?),
                 "--jobs" => out.jobs = take("--jobs")? as usize,
+                "--store" => {
+                    out.store = Some(args.next().ok_or("--store needs a directory")?);
+                }
                 f if f.starts_with("--") => return Err(format!("unknown flag: {f}")),
                 _ => out.rest.push(a),
             }
         }
         Ok(out)
+    }
+
+    /// Opens the `--store` directory, if one was given; prints the error
+    /// and exits 2 when it cannot be created.
+    pub fn open_store(&self) -> Option<ArtifactStore> {
+        self.store
+            .as_ref()
+            .map(|dir| match ArtifactStore::open(dir) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot open artifact store at {dir}: {e}");
+                    std::process::exit(2);
+                }
+            })
     }
 
     /// [`RunArgs::parse`] for binary `main`s: prints the error plus
@@ -364,6 +657,19 @@ impl RunArgs {
             ..default
         }
     }
+}
+
+/// Prints the store's session activity to **stderr** (stdout is reserved
+/// for figure tables, which must stay bit-identical between cold and warm
+/// runs).
+pub fn report_store_activity(store: &ArtifactStore) {
+    let a = store.activity();
+    eprintln!(
+        "store {}: {} checkpoint(s) reused, {} created",
+        store.dir().display(),
+        a.checkpoints_reused,
+        a.checkpoints_created
+    );
 }
 
 /// Formats a header + rows + geomean table the way the paper's bar charts

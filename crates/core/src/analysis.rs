@@ -34,6 +34,15 @@ pub struct AnalysisConfig {
     /// this the PC keeps the default hint (a PC that never triggered a
     /// prefetch carries no temporal evidence either way).
     pub min_issued: f64,
+    /// Thrash-detection threshold for the Eq. 3 estimate. When the
+    /// profiling table's replacement count reaches this fraction of its
+    /// insertions, entries were being evicted while still live, so
+    /// `insertions − replacements` tracks the table's churn headroom
+    /// rather than the pattern's footprint — Eq. 3 would then pick 1–3
+    /// LLC ways for a pattern that wants the whole table. Detection
+    /// clamps the estimate up to `max_table_entries` (every way the
+    /// table can hold).
+    pub thrash_replacement_frac: f64,
 }
 
 impl Default for AnalysisConfig {
@@ -45,6 +54,7 @@ impl Default for AnalysisConfig {
             llc_sets: 2048,
             max_table_entries: 196_608,
             min_issued: 8.0,
+            thrash_replacement_frac: 0.5,
         }
     }
 }
@@ -81,6 +91,35 @@ impl AnalysisConfig {
         CsrHint {
             enabled: true,
             meta_ways: (ways_real.ceil() as usize).clamp(1, max_ways),
+        }
+    }
+
+    /// Did the profiling table thrash? True when replacements reach
+    /// [`AnalysisConfig::thrash_replacement_frac`] of insertions — the
+    /// table was churning entries that were still live, so the allocated
+    /// counter saturated well below the pattern's footprint.
+    pub fn profile_thrashed(&self, profile: &ProfileCounters) -> bool {
+        profile.insertions > 0.0
+            && profile.replacements >= self.thrash_replacement_frac * profile.insertions
+    }
+
+    /// The allocated-entry estimate fed to Eq. 3 ([`AnalysisConfig::resize`]):
+    /// the paper's `insertions − replacements` metric, clamped up to the
+    /// full table when the profile shows the table thrashed (the counter
+    /// difference is then a churn artifact, not a footprint).
+    ///
+    /// Measured note: the bfs/dfs `*_400000_*` graph profiles do *not*
+    /// trip this clamp — their profiling tables never replace an entry
+    /// (their sliced traversal keeps ~50 K live sources, a 96% table hit
+    /// rate), so the un-clamped estimate is trustworthy there; the
+    /// regression test in `crates/bench/tests/eq3_graphs.rs` pins both
+    /// facts.
+    pub fn footprint_estimate(&self, profile: &ProfileCounters) -> f64 {
+        let naive = profile.allocated_entries();
+        if self.profile_thrashed(profile) {
+            naive.max(self.max_table_entries as f64)
+        } else {
+            naive
         }
     }
 }
@@ -132,7 +171,7 @@ pub fn analyze(profile: &ProfileCounters, cfg: &AnalysisConfig) -> HintSet {
 
     HintSet {
         pc_hints,
-        csr: cfg.resize(profile.allocated_entries()),
+        csr: cfg.resize(cfg.footprint_estimate(profile)),
     }
 }
 
@@ -261,5 +300,49 @@ mod tests {
         // 50k allocated → rounds to 65536 → 2.67 ways → 3 ways.
         assert!(hints.csr.enabled);
         assert_eq!(hints.csr.meta_ways, 3);
+    }
+
+    #[test]
+    fn thrash_detection_threshold() {
+        let c = cfg(); // default threshold: replacements ≥ 0.5 × insertions
+        let mut p = profile_with(&[]);
+        p.insertions = 100_000.0;
+        p.replacements = 0.0;
+        assert!(!c.profile_thrashed(&p), "no replacements → no thrash");
+        p.replacements = 49_999.0;
+        assert!(!c.profile_thrashed(&p), "below threshold");
+        p.replacements = 50_000.0;
+        assert!(c.profile_thrashed(&p), "at threshold");
+        p.insertions = 0.0;
+        p.replacements = 0.0;
+        assert!(!c.profile_thrashed(&p), "empty profile never thrashes");
+    }
+
+    #[test]
+    fn thrashing_profile_clamps_to_full_table() {
+        // The ROADMAP failure mode: a churning table reports a tiny
+        // insertions−replacements difference, so naive Eq. 3 picks 2 LLC
+        // ways for a pattern that filled all 8. 300 K insertions with
+        // 270 K replacements → naive 30 K entries → 2 ways; the thrash
+        // clamp must size the full table instead.
+        let c = cfg();
+        let mut p = profile_with(&[(1, 0.9, 100.0, 1000.0)]);
+        p.insertions = 300_000.0;
+        p.replacements = 270_000.0;
+        assert_eq!(c.resize(p.allocated_entries()).meta_ways, 2, "naive Eq. 3");
+        assert_eq!(c.footprint_estimate(&p), c.max_table_entries as f64);
+        let hints = analyze(&p, &c);
+        assert!(hints.csr.enabled);
+        assert_eq!(hints.csr.meta_ways, 8, "thrash clamp sizes every way");
+    }
+
+    #[test]
+    fn non_thrashing_profile_keeps_naive_estimate() {
+        let c = cfg();
+        let mut p = profile_with(&[(1, 0.9, 100.0, 1000.0)]);
+        p.insertions = 57_378.0; // a measured bfs_400000 profile: no
+        p.replacements = 0.0; // replacements → the estimate stands
+        assert_eq!(c.footprint_estimate(&p), 57_378.0);
+        assert_eq!(analyze(&p, &c).csr.meta_ways, 3);
     }
 }

@@ -33,6 +33,13 @@ impl SimplifiedTp {
     pub fn engine(&self) -> &TemporalEngine {
         &self.engine
     }
+
+    /// Seeds the profiling table + trainer from a warm-up checkpoint (the
+    /// profiling configuration is exactly the checkpoint's training
+    /// configuration, so this restore is lossless).
+    pub fn seed_warmup(&mut self, snap: &prophet_temporal::TemporalSnapshot) {
+        self.engine.load_warmup(snap);
+    }
 }
 
 impl Default for SimplifiedTp {

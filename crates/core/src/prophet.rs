@@ -178,6 +178,14 @@ impl Prophet {
     pub fn engine(&self) -> &TemporalEngine {
         &self.engine
     }
+
+    /// Seeds the metadata table + trainer from a warm-up checkpoint. The
+    /// checkpointed table was trained under the simplified configuration;
+    /// its contents adapt to this Prophet's CSR way count exactly as a
+    /// resize would (entries beyond the partition drop).
+    pub fn seed_warmup(&mut self, snap: &prophet_temporal::TemporalSnapshot) {
+        self.engine.load_warmup(snap);
+    }
 }
 
 impl L2Prefetcher for Prophet {

@@ -3,7 +3,7 @@
 use crate::kernel::KernelAnalysis;
 use crate::swpf::Rpg2Prefetcher;
 use prophet_prefetch::{NoL2Prefetch, StridePrefetcher};
-use prophet_sim_core::{simulate, SimReport, TraceSource};
+use prophet_sim_core::{simulate, SimReport, TraceSource, WarmStart};
 use prophet_sim_mem::SystemConfig;
 use std::collections::HashMap;
 
@@ -52,6 +52,12 @@ impl Rpg2Pipeline {
             self.warmup,
             self.measure,
         );
+        Self::qualify_from(&base, workload)
+    }
+
+    /// The trace-scan half of identification, given an already-simulated
+    /// baseline miss profile.
+    fn qualify_from(base: &SimReport, workload: &dyn TraceSource) -> Vec<u64> {
         let misses: HashMap<u64, u64> = base
             .per_pc
             .iter()
@@ -101,6 +107,53 @@ impl Rpg2Pipeline {
         let mut best: Option<(i64, SimReport)> = None;
         for &d in &DISTANCE_CANDIDATES {
             let r = self.run_at_distance(workload, &qualified, d);
+            let better = match &best {
+                None => true,
+                Some((_, b)) => r.ipc > b.ipc,
+            };
+            if better {
+                best = Some((d, r));
+            }
+        }
+        let (distance, report) = best.expect("at least one candidate evaluated");
+        Rpg2Result {
+            qualified_pcs: qualified,
+            distance: Some(distance),
+            report,
+        }
+    }
+
+    /// The full pipeline launched from a shared warm-up checkpoint: the
+    /// identification baseline and every distance candidate reuse the
+    /// checkpointed machine state instead of re-simulating the warm-up
+    /// (RPG2 is the worst offender of the cold path — up to six warm-ups
+    /// per workload).
+    pub fn run_warm(&self, workload: &dyn TraceSource, warm: &WarmStart) -> Rpg2Result {
+        let mut base = warm.simulate(
+            &self.sys,
+            workload,
+            Box::new(StridePrefetcher::default()),
+            Box::new(NoL2Prefetch),
+            self.measure,
+        );
+        let qualified = Self::qualify_from(&base, workload);
+        if qualified.is_empty() {
+            base.scheme = "rpg2".into();
+            return Rpg2Result {
+                qualified_pcs: qualified,
+                distance: None,
+                report: base,
+            };
+        }
+        let mut best: Option<(i64, SimReport)> = None;
+        for &d in &DISTANCE_CANDIDATES {
+            let r = warm.simulate(
+                &self.sys,
+                workload,
+                Box::new(StridePrefetcher::default()),
+                Box::new(Rpg2Prefetcher::with_uniform_distance(&qualified, d)),
+                self.measure,
+            );
             let better = match &best {
                 None => true,
                 Some((_, b)) => r.ipc > b.ipc,

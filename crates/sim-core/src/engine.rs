@@ -47,6 +47,22 @@ impl EngineStats {
     }
 }
 
+/// Plain-data image of the engine's pipeline timing state, for warm-up
+/// checkpointing. Statistics and the measurement epoch are excluded: a
+/// checkpoint marks the warm-up boundary, where `reset_stats` re-bases
+/// both anyway.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    pub complete: Vec<Cycle>,
+    pub retired: Vec<Cycle>,
+    pub count: u64,
+    pub fetch_cycle: Cycle,
+    pub fetch_slots: u64,
+    pub retire_cycle: Cycle,
+    pub retire_slots: u64,
+    pub retire_head: Cycle,
+}
+
 /// The timing engine. Feed it instructions with [`Engine::step`]; read
 /// [`Engine::stats`] at the end.
 #[derive(Debug, Clone)]
@@ -184,6 +200,50 @@ impl Engine {
     /// to the memory system for background activity.
     pub fn now(&self) -> Cycle {
         self.retire_head
+    }
+
+    /// Captures the pipeline timing state for warm-up checkpointing.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            complete: self.complete.clone(),
+            retired: self.retired.clone(),
+            count: self.count,
+            fetch_cycle: self.fetch_cycle,
+            fetch_slots: self.fetch_slots as u64,
+            retire_cycle: self.retire_cycle,
+            retire_slots: self.retire_slots as u64,
+            retire_head: self.retire_head,
+        }
+    }
+
+    /// Restores a snapshot taken from an engine with the same ROB size.
+    /// Statistics restart at zero and the epoch re-bases to the restored
+    /// retirement head (exactly what `reset_stats` does at the warm-up
+    /// boundary).
+    ///
+    /// # Panics
+    /// Panics on a ROB-size mismatch.
+    pub fn restore(&mut self, snap: &EngineSnapshot) {
+        assert_eq!(
+            snap.complete.len(),
+            self.cfg.rob_entries,
+            "engine snapshot geometry mismatch"
+        );
+        assert_eq!(
+            snap.retired.len(),
+            self.cfg.rob_entries,
+            "engine snapshot geometry mismatch"
+        );
+        self.complete.clone_from(&snap.complete);
+        self.retired.clone_from(&snap.retired);
+        self.count = snap.count;
+        self.fetch_cycle = snap.fetch_cycle;
+        self.fetch_slots = snap.fetch_slots as usize;
+        self.retire_cycle = snap.retire_cycle;
+        self.retire_slots = snap.retire_slots as usize;
+        self.retire_head = snap.retire_head;
+        self.epoch = snap.retire_head;
+        self.stats = EngineStats::default();
     }
 }
 
@@ -325,6 +385,37 @@ mod tests {
             e.step(&TraceInst::load(Pc(1), Addr(i)), &mut m);
         }
         e.step(&TraceInst::load_dep(Pc(1), Addr(0), 300), &mut m);
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identically() {
+        let mut a = Engine::new(cfg());
+        let mut m = FixedMem(120);
+        for i in 0..2_000u64 {
+            a.step(&TraceInst::load(Pc(1), Addr(i * 64)), &mut m);
+        }
+        let snap = a.snapshot();
+        let mut b = Engine::new(cfg());
+        b.restore(&snap);
+        a.reset_stats();
+        for i in 0..2_000u64 {
+            let inst = TraceInst::load_dep(Pc(1), Addr(i * 64), 1);
+            a.step(&inst, &mut m);
+            b.step(&inst, &mut m);
+        }
+        assert_eq!(a.stats(), b.stats(), "restored engine times identically");
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot geometry mismatch")]
+    fn restore_rejects_other_rob() {
+        let a = Engine::new(cfg());
+        let mut small = Engine::new(CoreConfig {
+            rob_entries: 64,
+            ..cfg()
+        });
+        small.restore(&a.snapshot());
     }
 
     #[test]

@@ -37,8 +37,8 @@ pub mod sim;
 pub mod simpoint;
 pub mod trace;
 
-pub use engine::{Engine, EngineStats, MemBackend};
+pub use engine::{Engine, EngineSnapshot, EngineStats, MemBackend};
 pub use report::{aggregate_weighted, geomean, SimReport};
-pub use sim::{simulate, MemSystem, Simulator, MAX_META_WAYS};
+pub use sim::{simulate, MemSystem, Simulator, WarmStart, MAX_META_WAYS};
 pub use simpoint::{even_checkpoints, run_checkpoints, Checkpoint};
 pub use trace::{CursorIter, MemOp, TraceCursor, TraceInst, TraceSource, VecTrace};

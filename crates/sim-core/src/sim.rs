@@ -6,13 +6,13 @@
 //! plus L1-prefetch requests — and prefetches lines into the L2, possibly
 //! repartitioning LLC ways for its metadata table.
 
-use crate::engine::{Engine, MemBackend};
+use crate::engine::{Engine, EngineSnapshot, MemBackend};
 use crate::report::SimReport;
 use crate::trace::{TraceInst, TraceSource};
 use prophet_prefetch::{L1Prefetcher, L2Prefetcher, RecentFilter};
 use prophet_sim_mem::addr::{Addr, Cycle, Pc};
 use prophet_sim_mem::config::SystemConfig;
-use prophet_sim_mem::hierarchy::{Hierarchy, L2Event};
+use prophet_sim_mem::hierarchy::{Hierarchy, HierarchySnapshot, L2Event};
 
 /// Largest number of LLC ways the metadata table may occupy: 8 ways of the
 /// 2 MB LLC = 1 MB, the paper's maximum table size (Section 5.10).
@@ -135,6 +135,46 @@ impl Simulator {
         self.report(source.name())
     }
 
+    /// Restores the scheme-independent machine state of a warm-up
+    /// checkpoint — pipeline timing plus the memory hierarchy — and then
+    /// re-applies this simulator's L2 prefetcher partition (the restored
+    /// LLC carries the *warm-up* partition, which is unpartitioned by
+    /// construction; the scheme's CSR/initial ways take effect here, at
+    /// the measurement boundary). Counters restart at zero.
+    pub fn restore_warmup(&mut self, engine: &EngineSnapshot, memory: &HierarchySnapshot) {
+        self.engine.restore(engine);
+        self.memsys.mem.restore(memory);
+        let now = self.engine.now();
+        let k = self.memsys.l2pf.meta_ways().min(MAX_META_WAYS);
+        self.memsys.mem.set_llc_meta_ways(k, now);
+    }
+
+    /// Runs the measurement phase of a warm-started simulation: fast-forwards
+    /// `skip` instructions of the trace *without simulating them* (they are
+    /// the warm-up the restored state already accounts for), then measures
+    /// `measure` instructions. Statistics are reset at the boundary exactly
+    /// as [`Simulator::run`] does.
+    pub fn run_measure(&mut self, source: &dyn TraceSource, skip: u64, measure: u64) -> SimReport {
+        let mut cursor = source.cursor();
+        let mut skipped = 0u64;
+        while skipped < skip {
+            if cursor.next_inst().is_none() {
+                break;
+            }
+            skipped += 1;
+        }
+        self.reset_stats();
+        let mut measured = 0u64;
+        while measured < measure {
+            match cursor.next_inst() {
+                Some(inst) => self.step(&inst),
+                None => break,
+            }
+            measured += 1;
+        }
+        self.report(source.name())
+    }
+
     /// Feeds a single instruction (exposed for incremental drivers/tests).
     pub fn step(&mut self, inst: &TraceInst) {
         self.engine.step(inst, &mut self.memsys);
@@ -149,6 +189,11 @@ impl Simulator {
     /// The memory system (for inspection).
     pub fn mem_system(&self) -> &MemSystem {
         &self.memsys
+    }
+
+    /// Snapshot of the engine's pipeline timing state (checkpointing).
+    pub fn engine_snapshot(&self) -> EngineSnapshot {
+        self.engine.snapshot()
     }
 
     /// Builds the report for everything measured since the last reset.
@@ -178,6 +223,41 @@ impl Simulator {
     /// The system configuration in use.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+}
+
+/// A scheme-independent warm start: the machine state at the warm-up
+/// boundary plus how many trace instructions that warm-up consumed.
+/// Any number of measurement runs — one per scheme, or the several passes
+/// of a profile-guided pipeline — can be launched from one `WarmStart`
+/// instead of re-simulating the warm-up each time (the ROADMAP's
+/// "checkpointed warm-up reuse across schemes"). `prophet-store`
+/// serializes it inside a `WarmupCheckpoint` artifact (DESIGN.md §6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    pub engine: EngineSnapshot,
+    pub memory: HierarchySnapshot,
+    /// Trace instructions the warm-up consumed (the measurement phase
+    /// resumes the trace here).
+    pub warmup: u64,
+}
+
+impl WarmStart {
+    /// Runs the measurement phase for one prefetcher configuration from
+    /// this warm state: builds a fresh simulator, restores the checkpointed
+    /// machine, fast-forwards the trace past the warm-up, and measures
+    /// `measure` instructions.
+    pub fn simulate(
+        &self,
+        cfg: &SystemConfig,
+        source: &dyn TraceSource,
+        l1pf: Box<dyn L1Prefetcher>,
+        l2pf: Box<dyn L2Prefetcher>,
+        measure: u64,
+    ) -> SimReport {
+        let mut sim = Simulator::new(cfg.clone(), l1pf, l2pf);
+        sim.restore_warmup(&self.engine, &self.memory);
+        sim.run_measure(source, self.warmup, measure)
     }
 }
 
@@ -286,6 +366,45 @@ mod tests {
         assert_eq!(r.issued_prefetches, 0);
         assert!(r.dram.reads >= r.l2.demand_misses / 2);
         assert!(r.per_pc.contains_key(&0x10));
+    }
+
+    /// With no L2 prefetcher the warm-up machine *is* the baseline, so a
+    /// warm-started measurement must reproduce the cold run's measurement
+    /// phase bit for bit.
+    #[test]
+    fn warm_start_matches_cold_baseline_run() {
+        let cfg = SystemConfig::isca25();
+        let trace = dependent_stride_trace(60_000);
+        let (warmup, measure) = (20_000u64, 30_000u64);
+        let cold = simulate(
+            &cfg,
+            &trace,
+            Box::new(NoL1Prefetch),
+            Box::new(NoL2Prefetch),
+            warmup,
+            measure,
+        );
+
+        // Re-create the warm-up by hand, snapshot, and measure from there.
+        let mut warmer =
+            Simulator::new(cfg.clone(), Box::new(NoL1Prefetch), Box::new(NoL2Prefetch));
+        let mut cursor = trace.cursor();
+        for _ in 0..warmup {
+            warmer.step(&cursor.next_inst().expect("trace covers warm-up"));
+        }
+        let warm = WarmStart {
+            engine: warmer.engine_snapshot(),
+            memory: warmer.mem_system().hierarchy().snapshot(),
+            warmup,
+        };
+        let warm_report = warm.simulate(
+            &cfg,
+            &trace,
+            Box::new(NoL1Prefetch),
+            Box::new(NoL2Prefetch),
+            measure,
+        );
+        assert_eq!(cold, warm_report);
     }
 
     #[test]

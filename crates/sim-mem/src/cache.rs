@@ -9,7 +9,7 @@
 //! Prophet's profile-guided CSR) moves this boundary at runtime.
 
 use crate::addr::{Line, Pc};
-use crate::replacement::{ReplKind, ReplState};
+use crate::replacement::{ReplKind, ReplSnapshot, ReplState};
 
 /// Static geometry and policy of one cache level.
 #[derive(Debug, Clone)]
@@ -362,6 +362,60 @@ impl Cache {
     }
 }
 
+/// Plain-data image of a cache's mutable state (contents + replacement +
+/// partition), for warm-up checkpointing. Statistics are deliberately
+/// excluded: checkpoints capture the machine at the warm-up boundary, where
+/// every counter is reset anyway.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheSnapshot {
+    /// `sets × ways` entries, way-major within a set (same layout as the
+    /// live cache).
+    pub lines: Vec<Option<LineState>>,
+    /// One replacement-state image per set.
+    pub repl: Vec<ReplSnapshot>,
+    /// Ways reserved for the metadata partition at snapshot time.
+    pub way_lo: usize,
+}
+
+impl Cache {
+    /// Captures contents, replacement state and the partition boundary.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            lines: self.lines.clone(),
+            repl: self.repl.iter().map(ReplState::snapshot).collect(),
+            way_lo: self.way_lo,
+        }
+    }
+
+    /// Restores a snapshot taken from a cache with the same geometry.
+    /// Statistics are reset (snapshots mark the warm-up boundary).
+    ///
+    /// # Panics
+    /// Panics on a geometry mismatch (the store keys checkpoints by system
+    /// configuration digest, so this indicates caller error, not bad data).
+    pub fn restore(&mut self, snap: &CacheSnapshot) {
+        assert_eq!(
+            snap.lines.len(),
+            self.sets * self.ways,
+            "cache snapshot geometry mismatch"
+        );
+        assert_eq!(
+            snap.repl.len(),
+            self.sets,
+            "cache snapshot geometry mismatch"
+        );
+        assert!(snap.way_lo <= self.ways, "cache snapshot geometry mismatch");
+        self.lines.clone_from(&snap.lines);
+        self.repl = snap
+            .repl
+            .iter()
+            .map(|r| ReplState::restore(r, self.ways))
+            .collect();
+        self.way_lo = snap.way_lo;
+        self.stats = CacheStats::default();
+    }
+}
+
 /// Convenience constructor for a [`LineState`] brought in by a demand miss.
 pub fn demand_line(line: Line, dirty: bool) -> LineState {
     LineState {
@@ -484,6 +538,29 @@ mod tests {
         c.fill(demand_line(Line(3), false));
         assert!(c.mark_dirty(Line(3)));
         assert!(!c.mark_dirty(Line(99)));
+    }
+
+    #[test]
+    fn snapshot_restores_contents_and_partition() {
+        let mut c = small_cache(4, 2);
+        c.set_reserved_ways(1);
+        c.fill(demand_line(Line(0), true));
+        c.fill(prefetched_line(Line(2), Pc(7)));
+        let snap = c.snapshot();
+        let mut fresh = small_cache(4, 2);
+        fresh.restore(&snap);
+        assert!(fresh.contains(Line(0)) && fresh.contains(Line(2)));
+        assert_eq!(fresh.reserved_ways(), 1);
+        assert_eq!(fresh.snapshot(), snap, "restore is lossless");
+        assert_eq!(fresh.stats().demand_fills, 0, "stats restart at zero");
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot geometry mismatch")]
+    fn snapshot_restore_rejects_other_geometry() {
+        let c = small_cache(2, 4);
+        let mut other = small_cache(2, 8);
+        other.restore(&c.snapshot());
     }
 
     #[test]

@@ -39,9 +39,11 @@ pub mod replacement;
 
 pub use addr::{Addr, Cycle, Line, Pc, LINE_BYTES, LINE_SHIFT};
 pub use bloom::CountingBloom;
-pub use cache::{Cache, CacheConfig, CacheStats, LineState};
+pub use cache::{Cache, CacheConfig, CacheSnapshot, CacheStats, LineState};
 pub use config::{CoreConfig, SystemConfig};
-pub use dram::{Dram, DramConfig, DramStats};
+pub use dram::{Dram, DramConfig, DramSnapshot, DramStats};
 pub use hawkeye::{Hawkeye, OptGen};
-pub use hierarchy::{DemandOutcome, Hierarchy, L2Event, MemStats, PcMemStats, PrefetchOutcome};
-pub use replacement::{ReplKind, ReplState};
+pub use hierarchy::{
+    DemandOutcome, Hierarchy, HierarchySnapshot, L2Event, MemStats, PcMemStats, PrefetchOutcome,
+};
+pub use replacement::{ReplKind, ReplSnapshot, ReplState};

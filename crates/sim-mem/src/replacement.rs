@@ -12,6 +12,18 @@
 //! one policy state per set. Victim selection always prefers an invalid way
 //! before consulting policy state.
 
+/// Plain-data image of one set's replacement state, for warm-up
+/// checkpointing (`prophet-store` serializes these; the fields mirror the
+/// policy structs exactly so a restore is bit-faithful).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplSnapshot {
+    Lru { stamp: Vec<u64>, clock: u64 },
+    Plru { bits: Vec<bool> },
+    Srrip { rrpv: Vec<u8> },
+    Hawkeye { rrpv: Vec<u8>, friendly: Vec<bool> },
+    Random { seed: u64 },
+}
+
 /// Identifies a replacement policy family; used in cache configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReplKind {
@@ -74,6 +86,69 @@ impl ReplState {
             ReplState::Srrip(s) => s.on_fill(way),
             ReplState::Hawkeye(s) => s.on_fill(way),
             ReplState::Random(_) => {}
+        }
+    }
+
+    /// Captures the state as plain data for checkpointing.
+    pub fn snapshot(&self) -> ReplSnapshot {
+        match self {
+            ReplState::Lru(s) => ReplSnapshot::Lru {
+                stamp: s.stamp.clone(),
+                clock: s.clock,
+            },
+            ReplState::Plru(s) => ReplSnapshot::Plru {
+                bits: s.bits.clone(),
+            },
+            ReplState::Srrip(s) => ReplSnapshot::Srrip {
+                rrpv: s.rrpv.clone(),
+            },
+            ReplState::Hawkeye(s) => ReplSnapshot::Hawkeye {
+                rrpv: s.rrpv.clone(),
+                friendly: s.friendly.clone(),
+            },
+            ReplState::Random(s) => ReplSnapshot::Random { seed: s.seed },
+        }
+    }
+
+    /// Rebuilds policy state from a snapshot taken on a set with the same
+    /// geometry (`ways` reconstructs the PLRU tree shape).
+    ///
+    /// # Panics
+    /// Panics if the snapshot's per-way vectors do not match `ways` (a
+    /// checkpoint from a differently-configured system; the store keys
+    /// checkpoints by configuration digest precisely so this cannot happen
+    /// on the disk path).
+    pub fn restore(snap: &ReplSnapshot, ways: usize) -> ReplState {
+        match snap {
+            ReplSnapshot::Lru { stamp, clock } => {
+                assert_eq!(stamp.len(), ways, "LRU snapshot geometry mismatch");
+                ReplState::Lru(LruState {
+                    stamp: stamp.clone(),
+                    clock: *clock,
+                })
+            }
+            ReplSnapshot::Plru { bits } => {
+                let leaves = ways.next_power_of_two().max(2);
+                assert_eq!(bits.len(), leaves - 1, "PLRU snapshot geometry mismatch");
+                ReplState::Plru(PlruState {
+                    bits: bits.clone(),
+                    leaves,
+                    ways,
+                })
+            }
+            ReplSnapshot::Srrip { rrpv } => {
+                assert_eq!(rrpv.len(), ways, "SRRIP snapshot geometry mismatch");
+                ReplState::Srrip(SrripState { rrpv: rrpv.clone() })
+            }
+            ReplSnapshot::Hawkeye { rrpv, friendly } => {
+                assert_eq!(rrpv.len(), ways, "Hawkeye snapshot geometry mismatch");
+                assert_eq!(friendly.len(), ways, "Hawkeye snapshot geometry mismatch");
+                ReplState::Hawkeye(HawkeyeState {
+                    rrpv: rrpv.clone(),
+                    friendly: friendly.clone(),
+                })
+            }
+            ReplSnapshot::Random { seed } => ReplState::Random(RandomState { seed: *seed }),
         }
     }
 
@@ -409,6 +484,36 @@ mod tests {
             let v = s.victim(4, 12);
             assert!((4..12).contains(&v));
         }
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_policy() {
+        for kind in [
+            ReplKind::Lru,
+            ReplKind::Plru,
+            ReplKind::Srrip,
+            ReplKind::Hawkeye,
+            ReplKind::Random,
+        ] {
+            let mut s = ReplState::new(kind, 6);
+            for w in 0..6 {
+                s.on_fill(w);
+            }
+            s.on_hit(2);
+            s.on_hit(4);
+            let snap = s.snapshot();
+            let mut restored = ReplState::restore(&snap, 6);
+            assert_eq!(restored.snapshot(), snap, "{kind:?} snapshot is lossless");
+            // Identical state ⇒ identical victim choice.
+            assert_eq!(restored.victim(0, 6), s.victim(0, 6), "{kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn restore_rejects_wrong_geometry() {
+        let s = ReplState::new(ReplKind::Lru, 4);
+        let _ = ReplState::restore(&s.snapshot(), 8);
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! A hand-rolled, versioned binary codec.
+//!
+//! The build environment is offline, so no serde: artifacts are encoded
+//! with explicit little-endian primitives through [`Encoder`] and decoded
+//! through [`Decoder`]. The decoder is *total* — every malformed input
+//! (truncation, bad magic, lengths pointing past the end, future format
+//! versions) surfaces as a [`DecodeError`], never a panic, so a corrupt or
+//! foreign file in a store directory degrades to a cache miss instead of
+//! taking the experiment down.
+
+use std::fmt;
+
+/// Why a byte stream failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended before a value's bytes did.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Offset at which the read started.
+        at: usize,
+    },
+    /// The stream does not start with the artifact magic.
+    BadMagic,
+    /// The artifact was written by a newer (or otherwise unknown) format
+    /// version; this build cannot interpret it.
+    UnsupportedVersion { found: u16 },
+    /// The artifact kind byte does not match what the caller expected.
+    WrongKind { expected: u8, found: u8 },
+    /// A structurally invalid value (an impossible enum tag, a length
+    /// larger than the remaining stream, a non-boolean bool byte, …).
+    Corrupt(&'static str),
+    /// Bytes remained after the artifact's end.
+    TrailingBytes { remaining: usize },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, at } => {
+                write!(f, "truncated: needed {needed} byte(s) at offset {at}")
+            }
+            DecodeError::BadMagic => write!(f, "not a prophet-store artifact (bad magic)"),
+            DecodeError::UnsupportedVersion { found } => {
+                write!(f, "unsupported artifact format version {found}")
+            }
+            DecodeError::WrongKind { expected, found } => {
+                write!(f, "wrong artifact kind: expected {expected}, found {found}")
+            }
+            DecodeError::Corrupt(what) => write!(f, "corrupt artifact: {what}"),
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "corrupt artifact: {remaining} trailing byte(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Little-endian binary writer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh, empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Raw bytes, verbatim (the magic).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `f64` by bit pattern — exact round-trips, NaNs included.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Collection length (u64 so 32-/64-bit builds agree on the format).
+    pub fn len_prefix(&mut self, n: usize) {
+        self.u64(n as u64);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.len_prefix(s.len());
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Little-endian binary reader over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless the stream was consumed exactly.
+    pub fn expect_end(&self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes {
+                remaining: self.remaining(),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated {
+                needed: n,
+                at: self.pos,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Raw bytes, verbatim (the magic).
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Corrupt("bool byte out of range")),
+        }
+    }
+
+    /// Collection length, validated against the remaining stream: each
+    /// element occupies at least `min_elem_bytes`, so a length that cannot
+    /// possibly fit is rejected *before* any allocation — a corrupt length
+    /// field must not become a multi-gigabyte `Vec::with_capacity`.
+    pub fn len_prefix(&mut self, min_elem_bytes: usize) -> Result<usize, DecodeError> {
+        let n = self.u64()?;
+        let n: usize = n
+            .try_into()
+            .map_err(|_| DecodeError::Corrupt("length exceeds address space"))?;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(DecodeError::Truncated {
+                needed: n.saturating_mul(min_elem_bytes.max(1)),
+                at: self.pos,
+            });
+        }
+        Ok(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.len_prefix(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Corrupt("non-UTF-8 string"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Encoder::new();
+        e.u8(0xAB);
+        e.u16(0xBEEF);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX - 1);
+        e.f64(-0.125);
+        e.bool(true);
+        e.str("bfs_400000_8");
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 0xAB);
+        assert_eq!(d.u16().unwrap(), 0xBEEF);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.f64().unwrap(), -0.125);
+        assert!(d.bool().unwrap());
+        assert_eq!(d.str().unwrap(), "bfs_400000_8");
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut e = Encoder::new();
+        e.u64(42);
+        let bytes = e.finish();
+        for cut in 0..bytes.len() {
+            let mut d = Decoder::new(&bytes[..cut]);
+            assert!(matches!(d.u64(), Err(DecodeError::Truncated { .. })));
+        }
+    }
+
+    #[test]
+    fn corrupt_length_rejected_before_allocation() {
+        let mut e = Encoder::new();
+        e.u64(u64::MAX); // an absurd element count
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert!(d.len_prefix(8).is_err());
+    }
+
+    #[test]
+    fn bad_bool_is_corrupt() {
+        let mut d = Decoder::new(&[7]);
+        assert_eq!(
+            d.bool(),
+            Err(DecodeError::Corrupt("bool byte out of range"))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut e = Encoder::new();
+        e.u8(1);
+        e.u8(2);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        d.u8().unwrap();
+        assert!(matches!(
+            d.expect_end(),
+            Err(DecodeError::TrailingBytes { remaining: 1 })
+        ));
+    }
+}

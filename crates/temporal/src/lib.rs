@@ -45,12 +45,13 @@ pub mod triangel;
 pub use conf::SatCounter;
 pub use engine::{
     ExternalGate, InsertionPolicy, ResizePolicy, TemporalConfig, TemporalDecision, TemporalEngine,
+    TemporalSnapshot,
 };
 pub use metadata::{
-    EvictedMeta, InsertOutcome, MetaRepl, MetaTableConfig, MetadataTable, ENTRIES_PER_LINE,
-    TAG_BITS, TARGET_BITS,
+    EvictedMeta, InsertOutcome, MetaRepl, MetaSlotSnapshot, MetaTableConfig, MetaTableSnapshot,
+    MetadataTable, ENTRIES_PER_LINE, TAG_BITS, TARGET_BITS,
 };
 pub use offchip::{OffChipConfig, OffChipTemporal};
-pub use training::{MarkovCensus, TrainingUnit};
+pub use training::{MarkovCensus, TrainingSnapshot, TrainingUnit};
 pub use triage::{Triage, TriageConfig};
 pub use triangel::{Triangel, TriangelConfig};

@@ -18,6 +18,13 @@ struct TrainEntry {
     valid: bool,
 }
 
+/// Plain-data image of the training unit for warm-up checkpointing: one
+/// `(pc tag, last line, valid)` triple per slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainingSnapshot {
+    pub entries: Vec<(u64, u64, bool)>,
+}
+
 /// Direct-mapped per-PC last-address table.
 #[derive(Debug, Clone)]
 pub struct TrainingUnit {
@@ -58,6 +65,36 @@ impl TrainingUnit {
     /// Forgets all history.
     pub fn clear(&mut self) {
         self.entries.iter_mut().for_each(|e| e.valid = false);
+    }
+
+    /// Captures all per-PC last-address state.
+    pub fn snapshot(&self) -> TrainingSnapshot {
+        TrainingSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| (e.tag, e.last.0, e.valid))
+                .collect(),
+        }
+    }
+
+    /// Restores a snapshot taken from a unit with the same slot count.
+    ///
+    /// # Panics
+    /// Panics on a slot-count mismatch.
+    pub fn restore(&mut self, snap: &TrainingSnapshot) {
+        assert_eq!(
+            snap.entries.len(),
+            self.entries.len(),
+            "training snapshot geometry mismatch"
+        );
+        for (e, &(tag, last, valid)) in self.entries.iter_mut().zip(&snap.entries) {
+            *e = TrainEntry {
+                tag,
+                last: Line(last),
+                valid,
+            };
+        }
     }
 }
 
@@ -153,6 +190,30 @@ mod tests {
         t.observe(Pc(0), Line(10));
         t.observe(Pc(1), Line(99)); // evicts PC 0's entry
         assert_eq!(t.observe(Pc(0), Line(11)), None, "history was lost");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_history() {
+        let mut t = TrainingUnit::new(8);
+        t.observe(Pc(1), Line(10));
+        t.observe(Pc(2), Line(99));
+        let snap = t.snapshot();
+        let mut fresh = TrainingUnit::new(8);
+        fresh.restore(&snap);
+        assert_eq!(
+            fresh.observe(Pc(1), Line(11)),
+            Some((Line(10), Line(11))),
+            "restored history continues seamlessly"
+        );
+        assert_eq!(fresh.snapshot().entries.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn restore_rejects_other_size() {
+        let t = TrainingUnit::new(8);
+        let mut other = TrainingUnit::new(16);
+        other.restore(&t.snapshot());
     }
 
     #[test]

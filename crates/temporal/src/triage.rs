@@ -81,6 +81,12 @@ impl Triage {
     pub fn engine(&self) -> &TemporalEngine {
         &self.engine
     }
+
+    /// Seeds the engine from a warm-up checkpoint (table contents +
+    /// training history; see [`TemporalEngine::load_warmup`]).
+    pub fn seed_warmup(&mut self, snap: &crate::engine::TemporalSnapshot) {
+        self.engine.load_warmup(snap);
+    }
 }
 
 impl Default for Triage {

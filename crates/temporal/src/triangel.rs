@@ -92,6 +92,12 @@ impl Triangel {
     pub fn engine(&self) -> &TemporalEngine {
         &self.engine
     }
+
+    /// Seeds the engine from a warm-up checkpoint (table contents +
+    /// training history; see [`TemporalEngine::load_warmup`]).
+    pub fn seed_warmup(&mut self, snap: &crate::engine::TemporalSnapshot) {
+        self.engine.load_warmup(snap);
+    }
 }
 
 impl Default for Triangel {
