@@ -42,12 +42,7 @@ fn main() {
     println!("{r}");
     println!("meta: {:?}", r.meta);
     let tp = tp.borrow();
-    let mut by_pc: Vec<(u64, u64)> = tp
-        .engine()
-        .insertions_by_pc()
-        .iter()
-        .map(|(&pc, &n)| (pc, n))
-        .collect();
+    let mut by_pc: Vec<(u64, u64)> = tp.engine().insertions_by_pc().collect();
     by_pc.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     let (mn, mean, mx) = tp.engine().table().set_occupancy_stats();
     println!(

@@ -4,6 +4,9 @@
 //! paper. One binary per experiment lives in `src/bin/` (see EXPERIMENTS.md
 //! for the index); this library holds the shared runners.
 
+pub mod metrics;
+pub mod runner;
+
 use prophet::{
     AnalysisConfig, LearnedProfile, ProfileCounters, Prophet, ProphetConfig, ProphetPipeline,
     RunLengths, SimplifiedTp,
@@ -103,8 +106,14 @@ impl Harness {
     }
 
     /// RPG2 with its identify → instrument → tune pipeline.
+    ///
+    /// Multi-pass pipelines deliberately re-stream the generator on every
+    /// pass: the synthetic workloads' working set (the graph itself) is
+    /// cache-resident, so regeneration is cheaper than replaying a
+    /// materialized multi-megabyte instruction buffer from DRAM.
     pub fn rpg2(&self, w: &dyn TraceSource) -> Rpg2Result {
-        Rpg2Pipeline::new(self.sys.clone(), self.warmup, self.measure).run(w)
+        let pl = Rpg2Pipeline::new(self.sys.clone(), self.warmup, self.measure);
+        pl.run(w)
     }
 
     /// A fresh Prophet pipeline bound to this harness's configuration.
@@ -583,6 +592,10 @@ pub struct RunArgs {
     pub warmup: Option<u64>,
     pub jobs: usize,
     pub store: Option<String>,
+    /// Graph-vertex override for the CRONO figures (`--vertices N`):
+    /// floors every graph at N vertices so the paper-scale 1 M+ runs
+    /// don't disturb the default workload registry.
+    pub vertices: Option<usize>,
     pub rest: Vec<String>,
 }
 
@@ -595,6 +608,7 @@ impl RunArgs {
             warmup: None,
             jobs: 0,
             store: None,
+            vertices: None,
             rest: Vec::new(),
         };
         let mut args = args.peekable();
@@ -607,6 +621,7 @@ impl RunArgs {
                 "--insts" => out.insts = Some(take("--insts")?),
                 "--warmup" => out.warmup = Some(take("--warmup")?),
                 "--jobs" => out.jobs = take("--jobs")? as usize,
+                "--vertices" => out.vertices = Some(take("--vertices")? as usize),
                 "--store" => {
                     out.store = Some(args.next().ok_or("--store needs a directory")?);
                 }

@@ -1,0 +1,146 @@
+//! Single-core throughput measurement over the scheme×workload grid.
+//!
+//! Where `Harness::run_matrix` exists to produce *figures* fast (cells fan
+//! across worker threads), this runner exists to measure the *simulator*:
+//! every cell runs sequentially on the calling thread with a wall clock
+//! around it, so the numbers mean single-core instructions per second and
+//! survive comparison across PRs (the `BENCH_*.json` trajectory).
+
+use crate::metrics::{BenchCell, BenchWindow};
+use crate::Harness;
+use prophet_sim_core::TraceSource;
+use std::time::Instant;
+
+/// The scheme names measured per workload, in run order. Matches the
+/// figure matrix (`Harness::run_matrix`).
+pub const BENCH_SCHEMES: [&str; 4] = ["baseline", "rpg2", "triangel", "prophet"];
+
+/// Runs one scheme on one workload, returning the cell wall time.
+fn time_cell(h: &Harness, scheme: &str, w: &dyn TraceSource) -> f64 {
+    let start = Instant::now();
+    match scheme {
+        "baseline" => {
+            h.baseline(w);
+        }
+        "rpg2" => {
+            h.rpg2(w);
+        }
+        "triangel" => {
+            h.triangel(w);
+        }
+        "prophet" => {
+            h.prophet(w);
+        }
+        other => panic!("unknown bench scheme: {other}"),
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Measures every scheme×workload cell sequentially and returns the
+/// window. `insts` per cell is the figure window (`warmup + measure`);
+/// multi-pass schemes carry their pipeline passes in the wall clock (see
+/// the schema notes in `metrics`).
+pub fn run_bench_window(
+    h: &Harness,
+    name: &str,
+    workloads: &[Box<dyn TraceSource + Send + Sync>],
+) -> BenchWindow {
+    let insts = h.warmup + h.measure;
+    let mut cells = Vec::with_capacity(workloads.len() * BENCH_SCHEMES.len());
+    for w in workloads {
+        for scheme in BENCH_SCHEMES {
+            let wall_secs = time_cell(h, scheme, w.as_ref());
+            let insts_per_sec = if wall_secs > 0.0 {
+                insts as f64 / wall_secs
+            } else {
+                0.0
+            };
+            eprintln!(
+                "bench: {:<10} {:<18} {:>9.3}s  {:>12.0} insts/s",
+                scheme,
+                w.name(),
+                wall_secs,
+                insts_per_sec
+            );
+            cells.push(BenchCell {
+                scheme: scheme.to_string(),
+                workload: w.name(),
+                insts,
+                wall_secs,
+                insts_per_sec,
+            });
+        }
+    }
+    BenchWindow {
+        name: name.to_string(),
+        warmup: h.warmup,
+        measure: h.measure,
+        cells,
+    }
+}
+
+/// Formats a window as the human-readable table the runner prints.
+pub fn format_window_table(w: &BenchWindow) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "bench window '{}' (warmup {} + measure {}):",
+        w.name, w.warmup, w.measure
+    );
+    let _ = writeln!(
+        s,
+        "{:<18} {:>12} {:>12} {:>12} {:>12}",
+        "workload", "baseline", "rpg2", "triangel", "prophet"
+    );
+    let mut by_workload: Vec<String> = Vec::new();
+    for c in &w.cells {
+        if !by_workload.contains(&c.workload) {
+            by_workload.push(c.workload.clone());
+        }
+    }
+    for wl in &by_workload {
+        let _ = write!(s, "{wl:<18}");
+        for scheme in BENCH_SCHEMES {
+            let v = w
+                .cells
+                .iter()
+                .find(|c| &c.workload == wl && c.scheme == scheme)
+                .map(|c| c.insts_per_sec)
+                .unwrap_or(0.0);
+            let _ = write!(s, " {v:>12.0}");
+        }
+        let _ = writeln!(s);
+    }
+    let _ = writeln!(
+        s,
+        "{:<18} {:>12.0} insts/s overall geomean",
+        "geomean",
+        w.geomean_insts_per_sec()
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet_workloads::workload_sized;
+
+    #[test]
+    fn tiny_window_produces_all_cells() {
+        let h = Harness {
+            warmup: 2_000,
+            measure: 2_000,
+            ..Harness::default()
+        };
+        let workloads: Vec<Box<dyn TraceSource + Send + Sync>> =
+            vec![workload_sized("bfs_80000_8", h.warmup + h.measure)];
+        let w = run_bench_window(&h, "test", &workloads);
+        assert_eq!(w.cells.len(), BENCH_SCHEMES.len());
+        assert!(w.cells.iter().all(|c| c.insts == 4_000));
+        assert!(w.cells.iter().all(|c| c.insts_per_sec > 0.0));
+        let table = format_window_table(&w);
+        assert!(table.contains("bfs"));
+        assert!(table.contains("geomean"));
+    }
+}

@@ -40,6 +40,18 @@ fn run_golden(exe: &str, args: &[&str], snapshot: &str) {
 }
 
 #[test]
+fn fig10_speedup_short_window_matches_snapshot() {
+    run_golden(
+        env!("CARGO_BIN_EXE_fig10_speedup"),
+        &["--insts", "120000", "--warmup", "60000", "--jobs", "2"],
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/fig10_speedup.txt"
+        ),
+    );
+}
+
+#[test]
 fn fig15_crono_short_window_matches_snapshot() {
     run_golden(
         env!("CARGO_BIN_EXE_fig15_crono"),

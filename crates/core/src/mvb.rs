@@ -18,7 +18,13 @@
 //!   prefetched additionally.
 
 use crate::storage::MVB_ENTRY_BITS;
+use prophet_prefetch::SmallList;
 use prophet_sim_mem::Line;
+
+/// Inline target capacity per entry. Figure 16c evaluates 1/2/4
+/// candidates, so the hot path never spills to the heap; larger
+/// experimental configs degrade gracefully through `SmallList`'s spill.
+pub const MVB_INLINE_CANDIDATES: usize = 4;
 
 /// MVB geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,7 +52,7 @@ impl Default for MvbConfig {
 struct MvbEntry {
     key: u64,
     /// `(target, 2-bit use counter)`, at most `candidates` of them.
-    targets: Vec<(Line, u8)>,
+    targets: SmallList<(Line, u8), MVB_INLINE_CANDIDATES>,
     stamp: u64,
 }
 
@@ -149,9 +155,11 @@ impl MultiPathVictimBuffer {
         }
 
         self.inserted += 1;
+        let mut targets = SmallList::new();
+        targets.push((target, 0));
         let fresh = MvbEntry {
             key,
-            targets: vec![(target, 0)],
+            targets,
             stamp: clock,
         };
         // Empty slot?
@@ -173,17 +181,21 @@ impl MultiPathVictimBuffer {
     /// Looks up extra Markov targets for `key`, excluding `table_target`
     /// (the prediction the metadata table already made). Hitting targets
     /// have their use counters incremented.
-    pub fn lookup(&mut self, key: u64, table_target: Option<Line>) -> Vec<Line> {
+    pub fn lookup(
+        &mut self,
+        key: u64,
+        table_target: Option<Line>,
+    ) -> SmallList<Line, MVB_INLINE_CANDIDATES> {
         let range = self.set_range(key);
         let Some(e) = self.slots[range]
             .iter_mut()
             .flatten()
             .find(|e| e.key == key)
         else {
-            return Vec::new();
+            return SmallList::new();
         };
-        let mut out = Vec::new();
-        for (line, counter) in &mut e.targets {
+        let mut out = SmallList::new();
+        for (line, counter) in e.targets.as_mut_slice() {
             if Some(*line) != table_target {
                 *counter = (*counter + 1).min(3);
                 out.push(*line);

@@ -218,15 +218,20 @@ impl L2Prefetcher for Prophet {
             }),
         );
 
-        // Feed evicted/displaced Markov targets to the MVB.
-        let evictions = self.engine.drain_evictions();
+        // Feed evicted/displaced Markov targets to the MVB (the drain also
+        // empties the queue when the MVB is disabled).
         if self.cfg.features.mvb {
-            for e in evictions {
+            for e in self.engine.drain_evictions() {
                 self.mvb.insert(e.key, e.target, e.priority);
             }
+        } else {
+            self.engine.drain_evictions();
         }
 
-        let mut prefetches: Vec<PrefetchRequest> = d
+        let mut prefetches: prophet_prefetch::SmallList<
+            PrefetchRequest,
+            { prophet_prefetch::L2_INLINE_PREFETCHES },
+        > = d
             .targets
             .iter()
             .map(|&line| PrefetchRequest {

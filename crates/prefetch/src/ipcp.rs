@@ -13,7 +13,7 @@
 //!   dense sequential regions regardless of PC.
 
 use crate::stride::PAGE_BYTES;
-use crate::traits::L1Prefetcher;
+use crate::traits::{L1PrefetchList, L1Prefetcher};
 use prophet_sim_mem::addr::{Addr, Pc};
 use prophet_sim_mem::LINE_BYTES;
 
@@ -116,7 +116,7 @@ impl IpcpPrefetcher {
         a / PAGE_BYTES == b / PAGE_BYTES
     }
 
-    fn gs_observe(&mut self, addr: u64) -> Vec<Addr> {
+    fn gs_observe(&mut self, addr: u64) -> L1PrefetchList {
         let region = addr / REGION_BYTES;
         let line_in_region = ((addr % REGION_BYTES) / LINE_BYTES) as u32;
         let slot = (region as usize) & (self.regions.len() - 1);
@@ -127,12 +127,12 @@ impl IpcpPrefetcher {
                 bitmap: 1 << line_in_region,
                 valid: true,
             };
-            return Vec::new();
+            return L1PrefetchList::default();
         }
         e.bitmap |= 1 << line_in_region;
         if e.bitmap.count_ones() >= REGION_DENSE {
             // Dense region: stream the next lines.
-            let mut out = Vec::with_capacity(self.cfg.gs_degree);
+            let mut out = L1PrefetchList::default();
             for k in 1..=self.cfg.gs_degree {
                 let target = addr + k as u64 * LINE_BYTES;
                 if !Self::within_page(addr, target) {
@@ -142,7 +142,7 @@ impl IpcpPrefetcher {
             }
             return out;
         }
-        Vec::new()
+        L1PrefetchList::default()
     }
 }
 
@@ -157,7 +157,7 @@ impl L1Prefetcher for IpcpPrefetcher {
         "ipcp"
     }
 
-    fn on_l1_access(&mut self, pc: Pc, addr: Addr, _hit: bool) -> Vec<Addr> {
+    fn on_l1_access(&mut self, pc: Pc, addr: Addr, _hit: bool) -> L1PrefetchList {
         let gs = self.gs_observe(addr.0);
 
         let idx = (pc.0 as usize) & (self.ip_table.len() - 1);
@@ -241,7 +241,7 @@ impl L1Prefetcher for IpcpPrefetcher {
 mod tests {
     use super::*;
 
-    fn drive(pf: &mut IpcpPrefetcher, pc: u64, addrs: &[u64]) -> Vec<Vec<Addr>> {
+    fn drive(pf: &mut IpcpPrefetcher, pc: u64, addrs: &[u64]) -> Vec<L1PrefetchList> {
         addrs
             .iter()
             .map(|&a| pf.on_l1_access(Pc(pc), Addr(a), false))

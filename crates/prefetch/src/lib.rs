@@ -22,13 +22,15 @@
 
 pub mod ipcp;
 pub mod queue;
+pub mod small;
 pub mod stride;
 pub mod traits;
 
 pub use ipcp::{IpcpConfig, IpcpPrefetcher};
 pub use queue::RecentFilter;
+pub use small::SmallList;
 pub use stride::{StrideConfig, StridePrefetcher, PAGE_BYTES};
 pub use traits::{
-    L1Prefetcher, L2Decision, L2Prefetcher, MetaTableStats, NoL1Prefetch, NoL2Prefetch,
-    PrefetchRequest,
+    L1PrefetchList, L1Prefetcher, L2Decision, L2Prefetcher, MetaTableStats, NoL1Prefetch,
+    NoL2Prefetch, PrefetchRequest, L1_INLINE_PREFETCHES, L2_INLINE_PREFETCHES,
 };

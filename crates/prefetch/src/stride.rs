@@ -7,7 +7,7 @@
 //! prefetchers work on physical addresses, Section 5.7 motivates IPCP partly
 //! by this limit).
 
-use crate::traits::L1Prefetcher;
+use crate::traits::{L1PrefetchList, L1Prefetcher};
 use prophet_sim_mem::addr::{Addr, Pc};
 
 /// Simulated page size (bytes) bounding hardware prefetch reach.
@@ -87,7 +87,7 @@ impl L1Prefetcher for StridePrefetcher {
         "stride"
     }
 
-    fn on_l1_access(&mut self, pc: Pc, addr: Addr, _hit: bool) -> Vec<Addr> {
+    fn on_l1_access(&mut self, pc: Pc, addr: Addr, _hit: bool) -> L1PrefetchList {
         let idx = self.index(pc);
         let e = &mut self.table[idx];
         if !e.valid || e.tag != pc.0 {
@@ -98,26 +98,26 @@ impl L1Prefetcher for StridePrefetcher {
                 confidence: 0,
                 valid: true,
             };
-            return Vec::new();
+            return L1PrefetchList::default();
         }
         let delta = addr.0 as i64 - e.last_addr as i64;
         e.last_addr = addr.0;
         if delta == 0 {
-            return Vec::new();
+            return L1PrefetchList::default();
         }
         if delta == e.stride {
             e.confidence = (e.confidence + 1).min(CONF_MAX);
         } else {
             e.stride = delta;
             e.confidence = e.confidence.saturating_sub(1);
-            return Vec::new();
+            return L1PrefetchList::default();
         }
         if e.confidence < CONF_ISSUE {
-            return Vec::new();
+            return L1PrefetchList::default();
         }
         let stride = e.stride;
         let page = addr.0 / PAGE_BYTES;
-        let mut out = Vec::with_capacity(self.cfg.degree);
+        let mut out = L1PrefetchList::default();
         for k in 1..=self.cfg.degree {
             let target = addr.0.wrapping_add((stride * k as i64) as u64);
             if target / PAGE_BYTES != page {
@@ -134,7 +134,7 @@ impl L1Prefetcher for StridePrefetcher {
 mod tests {
     use super::*;
 
-    fn drive(pf: &mut StridePrefetcher, pc: u64, addrs: &[u64]) -> Vec<Vec<Addr>> {
+    fn drive(pf: &mut StridePrefetcher, pc: u64, addrs: &[u64]) -> Vec<L1PrefetchList> {
         addrs
             .iter()
             .map(|&a| pf.on_l1_access(Pc(pc), Addr(a), false))

@@ -10,23 +10,28 @@
 //!   into the L2. Triage, Triangel, Prophet and the RPG2 software scheme all
 //!   implement this trait.
 
+use crate::small::SmallList;
 use prophet_sim_mem::addr::{Addr, Pc};
 use prophet_sim_mem::hierarchy::L2Event;
 use prophet_sim_mem::Line;
 
 /// A single L2 prefetch request: the target line plus the PC whose access
 /// triggered it (for per-PC accuracy accounting).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PrefetchRequest {
     pub line: Line,
     pub trigger_pc: Pc,
 }
 
+/// Inline capacity of an [`L2Decision`]'s prefetch list: degree-4 chains
+/// plus MVB alternate paths fit without a heap allocation.
+pub const L2_INLINE_PREFETCHES: usize = 8;
+
 /// What an [`L2Prefetcher`] wants done after observing one event.
 #[derive(Debug, Clone, Default)]
 pub struct L2Decision {
     /// Prefetches to issue, in order.
-    pub prefetches: Vec<PrefetchRequest>,
+    pub prefetches: SmallList<PrefetchRequest, L2_INLINE_PREFETCHES>,
     /// Request to repartition the LLC: reserve this many ways for metadata
     /// (Triage's Bloom resizing, Triangel's Set Dueller, Prophet's CSR).
     pub resize_meta_ways: Option<usize>,
@@ -45,8 +50,10 @@ impl L2Decision {
 
     /// A decision issuing a single prefetch.
     pub fn prefetch(line: Line, trigger_pc: Pc) -> Self {
+        let mut prefetches = SmallList::default();
+        prefetches.push(PrefetchRequest { line, trigger_pc });
         L2Decision {
-            prefetches: vec![PrefetchRequest { line, trigger_pc }],
+            prefetches,
             ..L2Decision::default()
         }
     }
@@ -112,13 +119,21 @@ impl L2Prefetcher for NoL2Prefetch {
     }
 }
 
+/// Inline capacity of an L1 prefetcher's reply: IPCP issues at most 14
+/// prefetches per access (degree-8 stride fewer), so 16 covers every
+/// implementation without a heap allocation.
+pub const L1_INLINE_PREFETCHES: usize = 16;
+
+/// The allocation-free reply of an [`L1Prefetcher`].
+pub type L1PrefetchList = SmallList<Addr, L1_INLINE_PREFETCHES>;
+
 /// An L1-attached prefetcher observing the demand byte-address stream.
 pub trait L1Prefetcher {
     /// Short name used in reports ("stride", "ipcp").
     fn name(&self) -> &'static str;
 
     /// Observes a demand access and returns byte addresses to prefetch.
-    fn on_l1_access(&mut self, pc: Pc, addr: Addr, hit: bool) -> Vec<Addr>;
+    fn on_l1_access(&mut self, pc: Pc, addr: Addr, hit: bool) -> L1PrefetchList;
 }
 
 /// The null L1 prefetcher.
@@ -130,8 +145,8 @@ impl L1Prefetcher for NoL1Prefetch {
         "none"
     }
 
-    fn on_l1_access(&mut self, _pc: Pc, _addr: Addr, _hit: bool) -> Vec<Addr> {
-        Vec::new()
+    fn on_l1_access(&mut self, _pc: Pc, _addr: Addr, _hit: bool) -> L1PrefetchList {
+        L1PrefetchList::default()
     }
 }
 

@@ -11,7 +11,8 @@
 //! instrumentation; in our substrate they are the `dep_back` links of the
 //! trace.
 
-use prophet_sim_core::trace::{MemOp, TraceInst, TraceSource};
+use prophet_sim_core::trace::{MemOp, TraceSource};
+use prophet_sim_mem::FlatMap;
 use std::collections::HashMap;
 
 /// Fraction of total L2 misses a PC must cause to be considered
@@ -53,54 +54,110 @@ pub struct KernelAnalysis {
     pub streams: HashMap<u64, PcStream>,
 }
 
+/// Per-PC accumulator used during the scan: the moving parts of
+/// [`PcStream`] plus the last address and the full delta histogram, all in
+/// flat containers so the per-instruction scan cost is a couple of probes
+/// instead of several SipHash map operations.
+#[derive(Debug, Clone, Default)]
+struct ScanState {
+    loads: u64,
+    delta_count: u64,
+    last_addr: u64,
+    has_last: bool,
+    producer_pc: u64,
+    producer_count: u64,
+    has_producer: bool,
+    /// Non-zero byte deltas (stored as `i64 as u64`, a bijection) → count.
+    deltas: FlatMap<u64>,
+}
+
+/// Dependency-window size. Must be a power of two; dependencies in our
+/// traces reach ≤ 280 instructions back, far inside the window.
+const WINDOW: usize = 4_096;
+
+/// One ring slot: enough of a past instruction to attribute a producer.
+#[derive(Debug, Clone, Copy, Default)]
+struct RingSlot {
+    pc: u64,
+    is_load: bool,
+}
+
 impl KernelAnalysis {
     /// Scans a trace and gathers per-PC statistics. Pure software analysis
     /// — no simulation involved.
+    ///
+    /// The dependency window is a fixed ring over the last `WINDOW`
+    /// instructions. Like the drained-`Vec` formulation it replaces, a
+    /// `dep_back` edge resolves only while its producer is still inside
+    /// the retained window (`win_start` advances by half a window whenever
+    /// the window fills, reproducing the old drain boundary exactly).
     pub fn scan(source: &dyn TraceSource) -> Self {
-        let mut streams: HashMap<u64, PcStream> = HashMap::new();
-        let mut deltas: HashMap<u64, HashMap<i64, u64>> = HashMap::new();
-        let mut last_addr: HashMap<u64, u64> = HashMap::new();
-        let mut window: Vec<TraceInst> = Vec::new();
+        let mut pcs: FlatMap<ScanState> = FlatMap::with_capacity(64);
+        let mut ring = vec![RingSlot::default(); WINDOW];
+        let mut abs: u64 = 0;
+        let mut win_start: u64 = 0;
 
         for inst in source.stream() {
-            window.push(inst);
-            let idx = window.len() - 1;
+            ring[(abs as usize) & (WINDOW - 1)] = RingSlot {
+                pc: inst.pc.0,
+                is_load: matches!(inst.op, Some(MemOp::Load(_))),
+            };
             if let Some(MemOp::Load(addr)) = inst.op {
-                let s = streams.entry(inst.pc.0).or_default();
+                let s = pcs.get_or_insert_with(inst.pc.0, ScanState::default);
                 s.loads += 1;
-                if let Some(&prev) = last_addr.get(&inst.pc.0) {
-                    let d = addr.0 as i64 - prev as i64;
+                if s.has_last {
+                    let d = addr.0 as i64 - s.last_addr as i64;
                     if d != 0 {
                         s.delta_count += 1;
-                        let h = deltas.entry(inst.pc.0).or_default();
-                        *h.entry(d).or_insert(0) += 1;
+                        *s.deltas.get_or_insert_with(d as u64, || 0) += 1;
                     }
                 }
-                last_addr.insert(inst.pc.0, addr.0);
+                s.last_addr = addr.0;
+                s.has_last = true;
                 // Producer attribution through the dependency edge.
                 if let Some(back) = inst.dep_back {
-                    if let Some(producer) = window.get(idx - back as usize) {
-                        if matches!(producer.op, Some(MemOp::Load(_))) {
-                            let entry = s.producer.get_or_insert((producer.pc.0, 0));
-                            if entry.0 == producer.pc.0 {
-                                entry.1 += 1;
+                    let back = back as u64;
+                    if back <= abs && abs - back >= win_start {
+                        let p = ring[((abs - back) as usize) & (WINDOW - 1)];
+                        if p.is_load {
+                            if !s.has_producer {
+                                s.has_producer = true;
+                                s.producer_pc = p.pc;
+                                s.producer_count = 0;
+                            }
+                            if s.producer_pc == p.pc {
+                                s.producer_count += 1;
                             }
                         }
                     }
                 }
             }
-            // Keep the window bounded (dependencies reach ≤ 280 back).
-            if window.len() > 4_096 {
-                window.drain(0..2_048);
+            abs += 1;
+            if abs - win_start > WINDOW as u64 {
+                win_start += (WINDOW / 2) as u64;
             }
         }
-        // Finalize modal deltas.
-        for (pc, h) in deltas {
-            if let Some((&d, &c)) = h.iter().max_by_key(|(_, &c)| c) {
-                let s = streams.get_mut(&pc).expect("stream exists");
+        // Finalize: modal deltas and the public per-PC map.
+        let mut streams: HashMap<u64, PcStream> = HashMap::with_capacity(pcs.len());
+        for (pc, st) in pcs.iter() {
+            let mut s = PcStream {
+                loads: st.loads,
+                delta_count: st.delta_count,
+                producer: st
+                    .has_producer
+                    .then_some((st.producer_pc, st.producer_count)),
+                ..PcStream::default()
+            };
+            if let Some((d, c)) = st
+                .deltas
+                .iter()
+                .max_by_key(|&(_, &c)| c)
+                .map(|(d, &c)| (d as i64, c))
+            {
                 s.mode_delta = d;
                 s.mode_count = c;
             }
+            streams.insert(pc, s);
         }
         KernelAnalysis { streams }
     }
@@ -141,7 +198,7 @@ impl KernelAnalysis {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prophet_sim_core::trace::VecTrace;
+    use prophet_sim_core::trace::{TraceInst, VecTrace};
     use prophet_sim_mem::{Addr, Pc};
 
     /// kernel b[i] strided at PC 1; indirect a[b[i]] at PC 2.

@@ -87,21 +87,24 @@ impl Rpg2Pipeline {
     /// candidates, return the best run. With no qualified PCs the result is
     /// the plain baseline (RPG2 inserts nothing — footnote 6's case).
     pub fn run(&self, workload: &dyn TraceSource) -> Rpg2Result {
-        let qualified = self.identify(workload);
+        // One baseline simulation serves both halves of identification and,
+        // when nothing qualifies, *is* the result (the sim is deterministic,
+        // so re-running it — as this path once did — could only waste time).
+        let mut base = simulate(
+            &self.sys,
+            workload,
+            Box::new(StridePrefetcher::default()),
+            Box::new(NoL2Prefetch),
+            self.warmup,
+            self.measure,
+        );
+        let qualified = Self::qualify_from(&base, workload);
         if qualified.is_empty() {
-            let mut report = simulate(
-                &self.sys,
-                workload,
-                Box::new(StridePrefetcher::default()),
-                Box::new(NoL2Prefetch),
-                self.warmup,
-                self.measure,
-            );
-            report.scheme = "rpg2".into();
+            base.scheme = "rpg2".into();
             return Rpg2Result {
                 qualified_pcs: qualified,
                 distance: None,
-                report,
+                report: base,
             };
         }
         let mut best: Option<(i64, SimReport)> = None;

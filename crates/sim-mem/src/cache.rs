@@ -9,7 +9,7 @@
 //! Prophet's profile-guided CSR) moves this boundary at runtime.
 
 use crate::addr::{Line, Pc};
-use crate::replacement::{ReplKind, ReplSnapshot, ReplState};
+use crate::replacement::{FlatRepl, ReplKind, ReplSnapshot};
 
 /// Static geometry and policy of one cache level.
 #[derive(Debug, Clone)]
@@ -107,8 +107,20 @@ impl CacheStats {
     }
 }
 
+/// Tag value marking an empty slot in the flat tag array. Line addresses
+/// are byte addresses shifted right by 6, so `u64::MAX` can never be a
+/// real resident line.
+const NO_TAG: u64 = u64::MAX;
+
 /// A set-associative, write-back, write-allocate cache with an optional way
 /// partition reserving the low ways of every set.
+///
+/// Residency is tracked twice: `lines` holds the full per-line state, and
+/// `tags` mirrors just the line addresses in a dense `u64` array (with
+/// `NO_TAG` for empty slots) so the per-access way scan reads 8
+/// contiguous words instead of walking `Option<LineState>` entries. Every
+/// mutation that changes *which* line a slot holds updates both
+/// (`debug_assert`ed in `find_way`).
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
@@ -116,7 +128,12 @@ pub struct Cache {
     ways: usize,
     /// `sets × ways` entries, way-major within a set.
     lines: Vec<Option<LineState>>,
-    repl: Vec<ReplState>,
+    /// Flat residency mirror of `lines`: the line address per slot, or
+    /// `NO_TAG`.
+    tags: Vec<u64>,
+    /// Replacement state for every set, flattened into contiguous per-kind
+    /// arrays (one cache runs one policy).
+    repl: FlatRepl,
     /// Data occupies ways `[way_lo, ways)`; `[0, way_lo)` is reserved for the
     /// (externally modeled) metadata table.
     way_lo: usize,
@@ -129,8 +146,9 @@ impl Cache {
         let sets = cfg.sets();
         let ways = cfg.ways;
         Cache {
-            repl: (0..sets).map(|_| ReplState::new(cfg.repl, ways)).collect(),
+            repl: FlatRepl::new(cfg.repl, sets, ways),
             lines: vec![None; sets * ways],
+            tags: vec![NO_TAG; sets * ways],
             sets,
             ways,
             way_lo: 0,
@@ -198,6 +216,7 @@ impl Cache {
                 for way in self.way_lo..k {
                     let slot = self.slot(set, way);
                     if let Some(state) = self.lines[slot].take() {
+                        self.tags[slot] = NO_TAG;
                         self.note_eviction(&state);
                         evicted.push(Evicted { state });
                     }
@@ -218,10 +237,22 @@ impl Cache {
         self.find_way(line).is_some()
     }
 
+    #[inline]
     fn find_way(&self, line: Line) -> Option<usize> {
         let set = self.set_index(line);
-        (self.way_lo..self.ways)
-            .find(|&w| matches!(self.lines[self.slot(set, w)], Some(s) if s.line == line))
+        let base = set * self.ways;
+        let tags = &self.tags[base + self.way_lo..base + self.ways];
+        for (i, &t) in tags.iter().enumerate() {
+            if t == line.0 {
+                let way = self.way_lo + i;
+                debug_assert!(
+                    matches!(self.lines[base + way], Some(s) if s.line == line),
+                    "tag mirror out of sync at set {set} way {way}"
+                );
+                return Some(way);
+            }
+        }
+        None
     }
 
     /// Prefetch-side lookup: updates replacement state on a hit but does not
@@ -231,7 +262,7 @@ impl Cache {
         match self.find_way(line) {
             Some(way) => {
                 let set = self.set_index(line);
-                self.repl[set].on_hit(way);
+                self.repl.on_hit(set, way);
                 true
             }
             None => false,
@@ -260,7 +291,7 @@ impl Cache {
         let set = self.set_index(line);
         if let Some(way) = self.find_way(line) {
             self.stats.demand_hits += 1;
-            self.repl[set].on_hit(way);
+            self.repl.on_hit(set, way);
             let slot = self.slot(set, way);
             let state = self.lines[slot].as_mut().expect("hit way must be valid");
             let first_use = if state.prefetched {
@@ -307,19 +338,20 @@ impl Cache {
             self.stats.demand_fills += 1;
         }
         let set = self.set_index(state.line);
+        let base = set * self.ways;
         // Prefer an invalid way.
-        let way = match (self.way_lo..self.ways).find(|&w| self.lines[self.slot(set, w)].is_none())
-        {
+        let way = match (self.way_lo..self.ways).find(|&w| self.tags[base + w] == NO_TAG) {
             Some(w) => w,
-            None => self.repl[set].victim(self.way_lo, self.ways),
+            None => self.repl.victim(set, self.way_lo, self.ways),
         };
-        let slot = self.slot(set, way);
+        let slot = base + way;
         let victim = self.lines[slot].take().map(|old| {
             self.note_eviction(&old);
             Evicted { state: old }
         });
         self.lines[slot] = Some(state);
-        self.repl[set].on_fill(way);
+        self.tags[slot] = state.line.0;
+        self.repl.on_fill(set, way);
         victim
     }
 
@@ -329,6 +361,7 @@ impl Cache {
         let way = self.find_way(line)?;
         let set = self.set_index(line);
         let slot = self.slot(set, way);
+        self.tags[slot] = NO_TAG;
         self.lines[slot].take()
     }
 
@@ -382,7 +415,7 @@ impl Cache {
     pub fn snapshot(&self) -> CacheSnapshot {
         CacheSnapshot {
             lines: self.lines.clone(),
-            repl: self.repl.iter().map(ReplState::snapshot).collect(),
+            repl: (0..self.sets).map(|s| self.repl.snapshot_set(s)).collect(),
             way_lo: self.way_lo,
         }
     }
@@ -406,11 +439,12 @@ impl Cache {
         );
         assert!(snap.way_lo <= self.ways, "cache snapshot geometry mismatch");
         self.lines.clone_from(&snap.lines);
-        self.repl = snap
-            .repl
-            .iter()
-            .map(|r| ReplState::restore(r, self.ways))
-            .collect();
+        for (slot, l) in self.lines.iter().enumerate() {
+            self.tags[slot] = l.map_or(NO_TAG, |s| s.line.0);
+        }
+        for (set, r) in snap.repl.iter().enumerate() {
+            self.repl.restore_set(set, r);
+        }
         self.way_lo = snap.way_lo;
         self.stats = CacheStats::default();
     }

@@ -1,0 +1,396 @@
+//! Flat, allocation-free hot-path containers.
+//!
+//! The per-instruction loop used to lean on `std::collections::HashMap` for
+//! three kinds of state: sparse per-PC tables, the in-flight miss set, and
+//! Hawkeye's sampler bookkeeping. SipHash plus per-entry boxing dominated
+//! the simulator's profile, so this module provides the two shapes those
+//! users actually need:
+//!
+//! * [`FlatMap`] — an open-addressed, linear-probed table keyed by `u64`
+//!   with a fixed multiply-shift hash. It never deletes (none of the hot
+//!   users delete), grows at ¾ load, and keeps its capacity across
+//!   [`FlatMap::clear`], so steady-state use performs no heap allocation.
+//! * [`InflightTable`] — the hierarchy's pending-miss set: a dense
+//!   insertion-ordered vector of `(line, ready)` pairs plus a `FlatMap`
+//!   index, replacing per-access map churn with O(1) probes and a linear
+//!   sweep for the MSHR scan.
+//!
+//! Both are drop-in *behavioral* equivalents of the maps they replaced:
+//! lookups, overwrites, and retain-style purges produce the same results
+//! for any operation sequence (pinned by `tests/flat_equivalence.rs`).
+//! Iteration order differs from `HashMap` (it is deterministic here), so
+//! every iterating consumer must stay order-independent or sort.
+
+use crate::addr::{Cycle, Line};
+
+/// Fibonacci multiplier (2^64 / φ) for the multiply-shift hash.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Mixes a key into a slot index for a power-of-two table of `mask + 1`
+/// slots. The xor fold spreads high-entropy bits (PCs and line addresses
+/// differ mostly in their low-middle bits) before the multiply.
+#[inline]
+fn slot_of(key: u64, mask: usize) -> usize {
+    let h = (key ^ (key >> 33)).wrapping_mul(FIB);
+    ((h >> 32) as usize) & mask
+}
+
+/// An open-addressed `u64 → V` map for the simulator's sparse hot keys
+/// (PCs, line addresses, set indices).
+///
+/// Invariants:
+/// * capacity is a power of two and load never exceeds ¾, so linear
+///   probing always terminates;
+/// * entries are never removed individually — [`FlatMap::clear`] is the
+///   only way to forget keys — so a probe chain never crosses a tombstone
+///   and `get` can stop at the first free slot;
+/// * `clear` keeps the allocation, so a table sized by warm-up traffic
+///   allocates nothing in steady state.
+#[derive(Debug, Clone)]
+pub struct FlatMap<V> {
+    keys: Vec<u64>,
+    vals: Vec<V>,
+    used: Vec<bool>,
+    len: usize,
+}
+
+impl<V: Default + Clone> FlatMap<V> {
+    /// An empty map that allocates on first insertion.
+    pub fn new() -> Self {
+        FlatMap {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            used: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// A map pre-sized to hold `n` entries without growing.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut m = Self::new();
+        if n > 0 {
+            m.rebuild((n * 4 / 3 + 1).next_power_of_two().max(16));
+        }
+        m
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Forgets all entries but keeps the allocation.
+    pub fn clear(&mut self) {
+        self.used.fill(false);
+        self.len = 0;
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.keys.len().wrapping_sub(1)
+    }
+
+    /// Probes for `key`: `(slot, true)` on a match, `(slot, false)` with
+    /// the insertion slot otherwise. Requires a non-empty table.
+    #[inline]
+    fn probe(&self, key: u64) -> (usize, bool) {
+        let mask = self.mask();
+        let mut i = slot_of(key, mask);
+        loop {
+            if !self.used[i] {
+                return (i, false);
+            }
+            if self.keys[i] == key {
+                return (i, true);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Re-hashes into a table of `cap` slots (a power of two).
+    fn rebuild(&mut self, cap: usize) {
+        debug_assert!(cap.is_power_of_two() && cap * 3 / 4 >= self.len);
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![V::default(); cap]);
+        let old_used = std::mem::replace(&mut self.used, vec![false; cap]);
+        let mask = cap - 1;
+        for ((k, v), u) in old_keys.into_iter().zip(old_vals).zip(old_used) {
+            if !u {
+                continue;
+            }
+            let mut i = slot_of(k, mask);
+            while self.used[i] {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = k;
+            self.vals[i] = v;
+            self.used[i] = true;
+        }
+    }
+
+    /// Grows if inserting one more entry would exceed ¾ load.
+    #[inline]
+    fn reserve_one(&mut self) {
+        let cap = self.keys.len();
+        if (self.len + 1) * 4 > cap * 3 {
+            self.rebuild((cap * 2).max(16));
+        }
+    }
+
+    /// The value for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        if self.len == 0 {
+            return None;
+        }
+        match self.probe(key) {
+            (i, true) => Some(&self.vals[i]),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value for `key`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        if self.len == 0 {
+            return None;
+        }
+        match self.probe(key) {
+            (i, true) => Some(&mut self.vals[i]),
+            _ => None,
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts or overwrites, returning the previous value if any.
+    #[inline]
+    pub fn insert(&mut self, key: u64, val: V) -> Option<V> {
+        self.reserve_one();
+        let (i, found) = self.probe(key);
+        if found {
+            Some(std::mem::replace(&mut self.vals[i], val))
+        } else {
+            self.keys[i] = key;
+            self.vals[i] = val;
+            self.used[i] = true;
+            self.len += 1;
+            None
+        }
+    }
+
+    /// The value for `key`, inserting `make()` first if absent.
+    #[inline]
+    pub fn get_or_insert_with(&mut self, key: u64, make: impl FnOnce() -> V) -> &mut V {
+        self.reserve_one();
+        let (i, found) = self.probe(key);
+        if !found {
+            self.keys[i] = key;
+            self.vals[i] = make();
+            self.used[i] = true;
+            self.len += 1;
+        }
+        &mut self.vals[i]
+    }
+
+    /// Iterates live `(key, &value)` pairs in slot order (deterministic
+    /// for a given insertion history, but *not* insertion order).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.vals)
+            .zip(&self.used)
+            .filter(|&(_, &u)| u)
+            .map(|((&k, v), _)| (k, v))
+    }
+}
+
+impl<V: Default + Clone> Default for FlatMap<V> {
+    fn default() -> Self {
+        FlatMap::new()
+    }
+}
+
+/// The hierarchy's pending-miss set (`line → ready cycle`), flattened.
+///
+/// Entries live densely in insertion order so the MSHR-pressure scan
+/// (count outstanding, min ready) is a cache-friendly sweep, with a
+/// [`FlatMap`] index for O(1) lookup and overwrite. The periodic purge
+/// (`retain_ready_after`) compacts in place and re-indexes without
+/// allocating.
+#[derive(Debug, Clone, Default)]
+pub struct InflightTable {
+    entries: Vec<(Line, Cycle)>,
+    index: FlatMap<u32>,
+}
+
+impl InflightTable {
+    /// An empty table pre-sized so steady-state traffic never grows it.
+    pub fn new() -> Self {
+        InflightTable {
+            entries: Vec::with_capacity(1024),
+            index: FlatMap::with_capacity(1024),
+        }
+    }
+
+    /// Outstanding entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The ready cycle recorded for `line`, if any.
+    #[inline]
+    pub fn get(&self, line: Line) -> Option<Cycle> {
+        self.index.get(line.0).map(|&i| self.entries[i as usize].1)
+    }
+
+    /// Records (or overwrites) `line`'s ready cycle.
+    #[inline]
+    pub fn insert(&mut self, line: Line, ready: Cycle) {
+        if let Some(&i) = self.index.get(line.0) {
+            self.entries[i as usize].1 = ready;
+        } else {
+            self.index.insert(line.0, self.entries.len() as u32);
+            self.entries.push((line, ready));
+        }
+    }
+
+    /// The dense entry slice, for linear scans (MSHR pressure, snapshots).
+    pub fn entries(&self) -> &[(Line, Cycle)] {
+        &self.entries
+    }
+
+    /// Drops every entry whose ready cycle is at or before `now`,
+    /// preserving the relative order of survivors. Allocation-free: the
+    /// index is cleared (capacity kept) and rebuilt from the compacted
+    /// vector.
+    pub fn retain_ready_after(&mut self, now: Cycle) {
+        self.entries.retain(|&(_, ready)| ready > now);
+        self.index.clear();
+        for (i, &(line, _)) in self.entries.iter().enumerate() {
+            self.index.insert(line.0, i as u32);
+        }
+    }
+
+    /// Forgets everything (capacity kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut m = FlatMap::new();
+        assert_eq!(m.get(7), None);
+        assert_eq!(m.insert(7, 70u64), None);
+        assert_eq!(m.insert(8, 80), None);
+        assert_eq!(m.get(7), Some(&70));
+        assert_eq!(m.insert(7, 71), Some(70));
+        assert_eq!(m.get(7), Some(&71));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m = FlatMap::with_capacity(4);
+        for k in 0..10_000u64 {
+            m.insert(k.wrapping_mul(0x1234_5679), k);
+        }
+        assert_eq!(m.len(), 10_000);
+        for k in 0..10_000u64 {
+            assert_eq!(m.get(k.wrapping_mul(0x1234_5679)), Some(&k));
+        }
+    }
+
+    #[test]
+    fn colliding_keys_all_found() {
+        // Keys crafted to share low bits stress the probe chain.
+        let mut m = FlatMap::new();
+        for k in 0..256u64 {
+            m.insert(k << 40, k);
+        }
+        for k in 0..256u64 {
+            assert_eq!(m.get(k << 40), Some(&k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn get_or_insert_with_inserts_once() {
+        let mut m = FlatMap::new();
+        *m.get_or_insert_with(5, || 10u64) += 1;
+        *m.get_or_insert_with(5, || 999) += 1;
+        assert_eq!(m.get(5), Some(&12));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut m = FlatMap::with_capacity(64);
+        for k in 0..48u64 {
+            m.insert(k, k);
+        }
+        let cap = m.keys.len();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.keys.len(), cap);
+        assert_eq!(m.get(3), None);
+    }
+
+    #[test]
+    fn iter_yields_every_live_entry() {
+        let mut m = FlatMap::new();
+        for k in 0..100u64 {
+            m.insert(k * 3, k);
+        }
+        let mut got: Vec<(u64, u64)> = m.iter().map(|(k, &v)| (k, v)).collect();
+        got.sort_unstable();
+        let want: Vec<(u64, u64)> = (0..100).map(|k| (k * 3, k)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn inflight_insert_overwrite_get() {
+        let mut t = InflightTable::new();
+        t.insert(Line(10), 100);
+        t.insert(Line(20), 200);
+        assert_eq!(t.get(Line(10)), Some(100));
+        t.insert(Line(10), 150);
+        assert_eq!(t.get(Line(10)), Some(150));
+        assert_eq!(t.len(), 2, "overwrite must not duplicate");
+    }
+
+    #[test]
+    fn inflight_retain_drops_expired_and_reindexes() {
+        let mut t = InflightTable::new();
+        for i in 0..100u64 {
+            t.insert(Line(i), i * 10);
+        }
+        t.retain_ready_after(500);
+        assert_eq!(t.len(), 49, "ready > 500 means lines 51..100");
+        assert_eq!(t.get(Line(50)), None);
+        assert_eq!(t.get(Line(51)), Some(510));
+        assert_eq!(t.get(Line(99)), Some(990));
+        // Survivors stay scannable and re-insertable.
+        t.insert(Line(50), 9_999);
+        assert_eq!(t.get(Line(50)), Some(9_999));
+        assert_eq!(t.len(), 50);
+    }
+}

@@ -14,7 +14,7 @@
 //!   averse lines at eviction priority; victims are averse lines first.
 
 use crate::addr::{Line, Pc};
-use std::collections::HashMap;
+use crate::flat::FlatMap;
 
 /// How many accesses of history OPTgen keeps per sampled set (the paper
 /// uses 8× associativity).
@@ -27,8 +27,11 @@ pub struct OptGen {
     capacity: usize,
     /// Occupancy of the modeled cache over the last `HISTORY` time steps.
     occupancy: Vec<u8>,
-    /// time-of-last-access per line (time is an access counter).
-    last_access: HashMap<Line, u64>,
+    /// time-of-last-access per line (time is an access counter). Keys are
+    /// never removed, matching the original map's lifetime: stale entries
+    /// older than the window report `Some(false)` through the interval
+    /// check.
+    last_access: FlatMap<u64>,
     now: u64,
 }
 
@@ -38,7 +41,7 @@ impl OptGen {
         OptGen {
             capacity,
             occupancy: vec![0; HISTORY],
-            last_access: HashMap::new(),
+            last_access: FlatMap::new(),
             now: 0,
         }
     }
@@ -52,7 +55,7 @@ impl OptGen {
         self.now += 1;
         let slot = (t as usize) % HISTORY;
         self.occupancy[slot] = 0;
-        let prev = self.last_access.insert(line, t);
+        let prev = self.last_access.insert(line.0, t);
         let prev = prev?;
         if t - prev >= HISTORY as u64 {
             return Some(false); // reuse interval longer than the window
@@ -77,10 +80,13 @@ impl OptGen {
 pub struct Hawkeye {
     /// 3-bit saturating counters per PC (hashed into a fixed table).
     counters: Vec<u8>,
-    /// Oracles for sampled sets: set index → OPTgen.
-    oracles: HashMap<usize, OptGen>,
+    /// Oracles for sampled sets, pooled densely: `oracle_of[set]` indexes
+    /// into `oracle_pool` (OPTgen itself is not `Default`, so the flat map
+    /// stores indices).
+    oracle_of: FlatMap<u32>,
+    oracle_pool: Vec<OptGen>,
     /// Which PC last touched each sampled line (for training attribution).
-    last_pc: HashMap<Line, Pc>,
+    last_pc: FlatMap<u64>,
     sample_mask: usize,
     ways: usize,
 }
@@ -98,8 +104,9 @@ impl Hawkeye {
         );
         Hawkeye {
             counters: vec![4; 8192],
-            oracles: HashMap::new(),
-            last_pc: HashMap::new(),
+            oracle_of: FlatMap::new(),
+            oracle_pool: Vec::new(),
+            last_pc: FlatMap::new(),
             sample_mask: sample - 1,
             ways,
         }
@@ -115,10 +122,17 @@ impl Hawkeye {
     /// cache-friendly.
     pub fn observe(&mut self, set: usize, line: Line, pc: Pc) -> bool {
         if set & self.sample_mask == 0 {
-            let ways = self.ways;
-            let oracle = self.oracles.entry(set).or_insert_with(|| OptGen::new(ways));
-            let verdict = oracle.access(line);
-            let trainee = self.last_pc.insert(line, pc).unwrap_or(pc);
+            let idx = match self.oracle_of.get(set as u64) {
+                Some(&i) => i as usize,
+                None => {
+                    let i = self.oracle_pool.len();
+                    self.oracle_pool.push(OptGen::new(self.ways));
+                    self.oracle_of.insert(set as u64, i as u32);
+                    i
+                }
+            };
+            let verdict = self.oracle_pool[idx].access(line);
+            let trainee = self.last_pc.insert(line.0, pc.0).map(Pc).unwrap_or(pc);
             if let Some(opt_hit) = verdict {
                 let c = self.counter_of(trainee);
                 if opt_hit {

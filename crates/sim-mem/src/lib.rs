@@ -33,6 +33,7 @@ pub mod bloom;
 pub mod cache;
 pub mod config;
 pub mod dram;
+pub mod flat;
 pub mod hawkeye;
 pub mod hierarchy;
 pub mod replacement;
@@ -42,8 +43,10 @@ pub use bloom::CountingBloom;
 pub use cache::{Cache, CacheConfig, CacheSnapshot, CacheStats, LineState};
 pub use config::{CoreConfig, SystemConfig};
 pub use dram::{Dram, DramConfig, DramSnapshot, DramStats};
+pub use flat::{FlatMap, InflightTable};
 pub use hawkeye::{Hawkeye, OptGen};
 pub use hierarchy::{
-    DemandOutcome, Hierarchy, HierarchySnapshot, L2Event, MemStats, PcMemStats, PrefetchOutcome,
+    DemandOutcome, Hierarchy, HierarchySnapshot, L2Event, MemStats, PcMemStats, PcStatsMap,
+    PrefetchOutcome,
 };
-pub use replacement::{ReplKind, ReplSnapshot, ReplState};
+pub use replacement::{FlatRepl, ReplKind, ReplSnapshot, ReplState};

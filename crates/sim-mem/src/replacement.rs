@@ -367,6 +367,277 @@ impl HawkeyeState {
     }
 }
 
+/// Replacement state for *every* set of one cache, flattened into
+/// contiguous per-kind arrays.
+///
+/// [`ReplState`] keeps each set's policy behind an enum holding per-set
+/// heap vectors, so every replacement update costs an extra pointer chase
+/// into a tiny allocation. A cache runs one policy across all sets, which
+/// lets the per-set vectors concatenate into single arrays indexed by
+/// `set * ways + way` — one predictable stride instead of one dereference
+/// per access. Behaviour is bit-identical to a `Vec<ReplState>` (each
+/// set's state evolves independently, and [`FlatRepl::snapshot_set`]
+/// reproduces the exact [`ReplSnapshot`] images the store serializes).
+#[derive(Debug, Clone)]
+pub struct FlatRepl {
+    kind: ReplKind,
+    ways: usize,
+    /// PLRU tree leaves (`ways.next_power_of_two().max(2)`).
+    leaves: usize,
+    /// LRU: `sets × ways` logical timestamps.
+    stamp: Vec<u64>,
+    /// LRU: one logical clock per set.
+    clock: Vec<u64>,
+    /// PLRU: `sets × (leaves − 1)` tree bits.
+    bits: Vec<bool>,
+    /// SRRIP/Hawkeye: `sets × ways` re-reference prediction values.
+    rrpv: Vec<u8>,
+    /// Hawkeye: `sets × ways` cache-friendly bits.
+    friendly: Vec<bool>,
+    /// Random: one xorshift seed per set.
+    seed: Vec<u64>,
+}
+
+impl FlatRepl {
+    /// Fresh state for `sets` sets of `ways` ways each.
+    pub fn new(kind: ReplKind, sets: usize, ways: usize) -> Self {
+        let leaves = ways.next_power_of_two().max(2);
+        let mut r = FlatRepl {
+            kind,
+            ways,
+            leaves,
+            stamp: Vec::new(),
+            clock: Vec::new(),
+            bits: Vec::new(),
+            rrpv: Vec::new(),
+            friendly: Vec::new(),
+            seed: Vec::new(),
+        };
+        match kind {
+            ReplKind::Lru => {
+                r.stamp = vec![0; sets * ways];
+                r.clock = vec![0; sets];
+            }
+            ReplKind::Plru => r.bits = vec![false; sets * (leaves - 1)],
+            ReplKind::Srrip => r.rrpv = vec![SRRIP_MAX; sets * ways],
+            ReplKind::Hawkeye => {
+                r.rrpv = vec![SRRIP_MAX; sets * ways];
+                r.friendly = vec![false; sets * ways];
+            }
+            ReplKind::Random => r.seed = vec![0x9E37_79B9_7F4A_7C15 ^ (ways as u64); sets],
+        }
+        r
+    }
+
+    #[inline]
+    fn base(&self, set: usize) -> usize {
+        set * self.ways
+    }
+
+    /// Records a demand hit on `way` of `set`.
+    #[inline]
+    pub fn on_hit(&mut self, set: usize, way: usize) {
+        let i = self.base(set) + way;
+        match self.kind {
+            ReplKind::Lru => self.lru_touch(set, way),
+            ReplKind::Plru => self.plru_touch(set, way),
+            ReplKind::Srrip => self.rrpv[i] = 0,
+            ReplKind::Hawkeye => {
+                self.rrpv[i] = 0;
+                self.friendly[i] = true;
+            }
+            ReplKind::Random => {}
+        }
+    }
+
+    /// Records a fill into `way` of `set` (after victim selection).
+    #[inline]
+    pub fn on_fill(&mut self, set: usize, way: usize) {
+        let i = self.base(set) + way;
+        match self.kind {
+            ReplKind::Lru => self.lru_touch(set, way),
+            ReplKind::Plru => self.plru_touch(set, way),
+            ReplKind::Srrip => self.rrpv[i] = SRRIP_LONG,
+            ReplKind::Hawkeye => {
+                self.rrpv[i] = SRRIP_LONG;
+                self.friendly[i] = false;
+            }
+            ReplKind::Random => {}
+        }
+    }
+
+    /// Selects a victim among ways `[lo, hi)` of `set` (same contract as
+    /// [`ReplState::victim`]).
+    #[inline]
+    pub fn victim(&mut self, set: usize, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        match self.kind {
+            ReplKind::Lru => {
+                let base = self.base(set);
+                (lo..hi)
+                    .min_by_key(|&w| self.stamp[base + w])
+                    .expect("non-empty way range")
+            }
+            ReplKind::Plru => self.plru_victim(set, lo, hi),
+            ReplKind::Srrip => {
+                let base = self.base(set);
+                loop {
+                    if let Some(w) = (lo..hi).find(|&w| self.rrpv[base + w] == SRRIP_MAX) {
+                        return w;
+                    }
+                    for w in lo..hi {
+                        self.rrpv[base + w] = (self.rrpv[base + w] + 1).min(SRRIP_MAX);
+                    }
+                }
+            }
+            ReplKind::Hawkeye => {
+                let base = self.base(set);
+                if let Some(w) =
+                    (lo..hi).find(|&w| !self.friendly[base + w] && self.rrpv[base + w] == SRRIP_MAX)
+                {
+                    return w;
+                }
+                loop {
+                    if let Some(w) = (lo..hi).find(|&w| self.rrpv[base + w] == SRRIP_MAX) {
+                        return w;
+                    }
+                    for w in lo..hi {
+                        self.rrpv[base + w] = (self.rrpv[base + w] + 1).min(SRRIP_MAX);
+                    }
+                }
+            }
+            ReplKind::Random => {
+                let s = &mut self.seed[set];
+                *s ^= *s << 13;
+                *s ^= *s >> 7;
+                *s ^= *s << 17;
+                lo + (*s as usize) % (hi - lo)
+            }
+        }
+    }
+
+    #[inline]
+    fn lru_touch(&mut self, set: usize, way: usize) {
+        self.clock[set] += 1;
+        self.stamp[set * self.ways + way] = self.clock[set];
+    }
+
+    fn plru_touch(&mut self, set: usize, way: usize) {
+        debug_assert!(way < self.ways);
+        let tree = set * (self.leaves - 1);
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.leaves;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if way < mid {
+                self.bits[tree + node] = true; // cold side is the right half
+                node = 2 * node + 1;
+                hi = mid;
+            } else {
+                self.bits[tree + node] = false;
+                node = 2 * node + 2;
+                lo = mid;
+            }
+        }
+    }
+
+    fn plru_victim(&self, set: usize, lo_way: usize, hi_way: usize) -> usize {
+        let tree = set * (self.leaves - 1);
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.leaves;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.bits[tree + node] {
+                node = 2 * node + 2;
+                lo = mid;
+            } else {
+                node = 2 * node + 1;
+                hi = mid;
+            }
+        }
+        let candidate = lo;
+        if candidate >= lo_way && candidate < hi_way {
+            candidate
+        } else {
+            let span = hi_way - lo_way;
+            lo_way + candidate % span
+        }
+    }
+
+    /// Captures one set's state as the [`ReplSnapshot`] image the store
+    /// serializes (identical to `Vec<ReplState>`'s per-set snapshots).
+    pub fn snapshot_set(&self, set: usize) -> ReplSnapshot {
+        let base = self.base(set);
+        match self.kind {
+            ReplKind::Lru => ReplSnapshot::Lru {
+                stamp: self.stamp[base..base + self.ways].to_vec(),
+                clock: self.clock[set],
+            },
+            ReplKind::Plru => {
+                let tree = set * (self.leaves - 1);
+                ReplSnapshot::Plru {
+                    bits: self.bits[tree..tree + self.leaves - 1].to_vec(),
+                }
+            }
+            ReplKind::Srrip => ReplSnapshot::Srrip {
+                rrpv: self.rrpv[base..base + self.ways].to_vec(),
+            },
+            ReplKind::Hawkeye => ReplSnapshot::Hawkeye {
+                rrpv: self.rrpv[base..base + self.ways].to_vec(),
+                friendly: self.friendly[base..base + self.ways].to_vec(),
+            },
+            ReplKind::Random => ReplSnapshot::Random {
+                seed: self.seed[set],
+            },
+        }
+    }
+
+    /// Restores one set from a snapshot taken under the same policy and
+    /// geometry.
+    ///
+    /// # Panics
+    /// Panics if the snapshot's policy family or per-way vectors do not
+    /// match this cache's configuration (the store keys checkpoints by
+    /// configuration digest, so this indicates caller error).
+    pub fn restore_set(&mut self, set: usize, snap: &ReplSnapshot) {
+        let base = self.base(set);
+        match (self.kind, snap) {
+            (ReplKind::Lru, ReplSnapshot::Lru { stamp, clock }) => {
+                assert_eq!(stamp.len(), self.ways, "LRU snapshot geometry mismatch");
+                self.stamp[base..base + self.ways].copy_from_slice(stamp);
+                self.clock[set] = *clock;
+            }
+            (ReplKind::Plru, ReplSnapshot::Plru { bits }) => {
+                let tree = set * (self.leaves - 1);
+                assert_eq!(
+                    bits.len(),
+                    self.leaves - 1,
+                    "PLRU snapshot geometry mismatch"
+                );
+                self.bits[tree..tree + self.leaves - 1].copy_from_slice(bits);
+            }
+            (ReplKind::Srrip, ReplSnapshot::Srrip { rrpv }) => {
+                assert_eq!(rrpv.len(), self.ways, "SRRIP snapshot geometry mismatch");
+                self.rrpv[base..base + self.ways].copy_from_slice(rrpv);
+            }
+            (ReplKind::Hawkeye, ReplSnapshot::Hawkeye { rrpv, friendly }) => {
+                assert_eq!(rrpv.len(), self.ways, "Hawkeye snapshot geometry mismatch");
+                assert_eq!(
+                    friendly.len(),
+                    self.ways,
+                    "Hawkeye snapshot geometry mismatch"
+                );
+                self.rrpv[base..base + self.ways].copy_from_slice(rrpv);
+                self.friendly[base..base + self.ways].copy_from_slice(friendly);
+            }
+            (ReplKind::Random, ReplSnapshot::Random { seed }) => self.seed[set] = *seed,
+            (kind, snap) => panic!("replacement snapshot policy mismatch: {kind:?} vs {snap:?}"),
+        }
+    }
+}
+
 /// Deterministic pseudo-random replacement (xorshift64*).
 #[derive(Debug, Clone)]
 pub struct RandomState {

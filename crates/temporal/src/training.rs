@@ -8,8 +8,9 @@
 //! This module also provides [`MarkovCensus`], the offline counter of
 //! distinct Markov targets per address used to reproduce Figure 8.
 
+use prophet_prefetch::SmallList;
 use prophet_sim_mem::addr::{Line, Pc};
-use std::collections::HashMap;
+use prophet_sim_mem::FlatMap;
 
 #[derive(Debug, Clone, Copy, Default)]
 struct TrainEntry {
@@ -109,7 +110,9 @@ impl Default for TrainingUnit {
 /// stream. Feed it the same pairs the training unit produces.
 #[derive(Debug, Clone, Default)]
 pub struct MarkovCensus {
-    successors: HashMap<Line, Vec<Line>>,
+    /// Distinct successors per source line, inline up to 8 (Figure 8 only
+    /// distinguishes T = 1..=5, so the spill path is rarely taken).
+    successors: FlatMap<SmallList<Line, 8>>,
     cap: usize,
 }
 
@@ -118,15 +121,18 @@ impl MarkovCensus {
     /// (Figure 8 plots T = 1..=5; anything above is counted in the last bin).
     pub fn new(cap: usize) -> Self {
         MarkovCensus {
-            successors: HashMap::new(),
+            successors: FlatMap::new(),
             cap: cap.max(1),
         }
     }
 
     /// Records that `target` followed `src`.
     pub fn record(&mut self, src: Line, target: Line) {
-        let v = self.successors.entry(src).or_default();
-        if !v.contains(&target) && v.len() < self.cap {
+        let cap = self.cap;
+        let v = self
+            .successors
+            .get_or_insert_with(src.0, SmallList::default);
+        if !v.contains(&target) && v.len() < cap {
             v.push(target);
         }
     }
@@ -136,7 +142,7 @@ impl MarkovCensus {
     /// returns all zeros.
     pub fn histogram(&self) -> Vec<f64> {
         let mut counts = vec![0u64; self.cap];
-        for v in self.successors.values() {
+        for (_, v) in self.successors.iter() {
             let t = v.len().clamp(1, self.cap);
             counts[t - 1] += 1;
         }
