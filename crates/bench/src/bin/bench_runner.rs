@@ -2,17 +2,26 @@
 //!
 //! ```text
 //! bench_runner [--insts N] [--warmup N] [--window NAME] [--out FILE]
-//!              [--check FILE] [--tolerance PCT]
-//!   --insts      measured instructions per cell (default 1 000 000 —
-//!                the fig15 window)
-//!   --warmup     warm-up instructions (default 1 100 000)
-//!   --window     window label recorded in the report (default: "default";
-//!                the CI smoke job uses "smoke")
-//!   --out        merge this window into FILE (created if absent; an
-//!                existing same-named window is replaced, others kept)
-//!   --check      compare this run's geomean insts/sec against the
-//!                same-named window in FILE; exit 1 on regression
-//!   --tolerance  allowed slowdown for --check, percent (default 20)
+//!              [--check FILE] [--tolerance PCT] [--repeat N]
+//!              [--cells shared|cold] [--warmup-mode full|fast]
+//!   --insts       measured instructions per cell (default 1 000 000 —
+//!                 the fig15 window)
+//!   --warmup      warm-up instructions (default 1 100 000)
+//!   --window      window label recorded in the report (default: "default";
+//!                 the CI smoke job uses "smoke")
+//!   --out         merge this window into FILE (created if absent; an
+//!                 existing same-named window is replaced, others kept)
+//!   --check       compare this run's geomean insts/sec against the
+//!                 same-named window in FILE; exit 1 on regression
+//!   --tolerance   allowed slowdown for --check, percent (default 20)
+//!   --repeat      run the window N times, record the median-geomean run
+//!                 (default 1; container clocks are ±20–30% noisy)
+//!   --cells       `shared` (default) launches the multi-pass schemes from
+//!                 one shared warm-up per workload — the recommended
+//!                 pipeline since PR 8; `cold` re-warms every pass (the
+//!                 pre-PR-8 measurement)
+//!   --warmup-mode `full` (default) or `fast` fast-forwarded warm-up
+//!                 (DESIGN.md §7; figures from fast runs diverge)
 //! ```
 //!
 //! Cells run *sequentially on one core* (unlike the figure binaries) so
@@ -21,13 +30,14 @@
 //! the same runner class.
 
 use prophet_bench::metrics::{check_regression, BenchReport};
-use prophet_bench::runner::{format_window_table, run_bench_window};
-use prophet_bench::Harness;
+use prophet_bench::runner::{format_window_table, run_bench_window_median};
+use prophet_bench::{Harness, WarmupMode};
 use prophet_sim_core::TraceSource;
 use prophet_workloads::{workload_sized, CRONO_WORKLOADS};
 
 const USAGE: &str = "usage: bench_runner [--insts N] [--warmup N] [--window NAME] \
-                     [--out FILE] [--check FILE] [--tolerance PCT]";
+                     [--out FILE] [--check FILE] [--tolerance PCT] [--repeat N] \
+                     [--cells shared|cold] [--warmup-mode full|fast]";
 
 struct Args {
     insts: Option<u64>,
@@ -36,6 +46,9 @@ struct Args {
     out: Option<String>,
     check: Option<String>,
     tolerance: f64,
+    repeat: usize,
+    shared: bool,
+    warmup_mode: WarmupMode,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +59,9 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         check: None,
         tolerance: 20.0,
+        repeat: 1,
+        shared: true,
+        warmup_mode: WarmupMode::Full,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -74,6 +90,23 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("--tolerance: not a number: {v}"))?;
             }
+            "--repeat" => {
+                let v = value("--repeat")?;
+                out.repeat = v
+                    .parse()
+                    .map_err(|_| format!("--repeat: not a number: {v}"))?;
+                if out.repeat == 0 {
+                    return Err("--repeat: must be at least 1".into());
+                }
+            }
+            "--cells" => {
+                out.shared = match value("--cells")?.as_str() {
+                    "shared" => true,
+                    "cold" => false,
+                    v => return Err(format!("--cells: expected shared|cold, got {v}")),
+                };
+            }
+            "--warmup-mode" => out.warmup_mode = WarmupMode::parse(&value("--warmup-mode")?)?,
             f => return Err(format!("unknown argument: {f}")),
         }
     }
@@ -91,6 +124,7 @@ fn main() {
     let h = Harness {
         warmup: args.warmup.unwrap_or(1_100_000),
         measure: args.insts.unwrap_or(1_000_000),
+        warmup_mode: args.warmup_mode,
         ..Harness::default()
     };
     let workloads: Vec<Box<dyn TraceSource + Send + Sync>> = CRONO_WORKLOADS
@@ -98,16 +132,16 @@ fn main() {
         .map(|name| workload_sized(name, h.warmup + h.measure))
         .collect();
 
-    let window = run_bench_window(&h, &args.window, &workloads);
+    let window = run_bench_window_median(&h, &args.window, &workloads, args.shared, args.repeat);
     print!("{}", format_window_table(&window));
 
     if let Some(path) = &args.out {
         let mut report = match std::fs::read_to_string(path) {
             Ok(text) => BenchReport::from_json(&text).unwrap_or_else(|e| {
                 eprintln!("bench: {path} is not a bench report ({e}); rewriting");
-                BenchReport::new(7)
+                BenchReport::new(8)
             }),
-            Err(_) => BenchReport::new(7),
+            Err(_) => BenchReport::new(8),
         };
         report.upsert_window(window.clone());
         if let Err(e) = std::fs::write(path, report.to_json()) {

@@ -13,13 +13,36 @@ use prophet::{
 };
 use prophet_prefetch::{IpcpPrefetcher, L1Prefetcher, NoL2Prefetch, StridePrefetcher};
 use prophet_rpg2::{Rpg2Pipeline, Rpg2Result};
-use prophet_sim_core::{simulate, Engine, MemBackend, SimReport, TraceSource, WarmStart};
+use prophet_sim_core::{
+    simulate, Engine, EngineSnapshot, MemBackend, SimReport, TraceInst, TraceSource, WarmStart,
+};
 use prophet_sim_mem::addr::{Addr, Cycle, Pc};
 use prophet_sim_mem::{Hierarchy, SystemConfig};
 use prophet_store::{
-    config_digest, decode_checkpoint, encode_checkpoint, ArtifactStore, StoreKey, WarmupCheckpoint,
+    config_digest, decode_checkpoint, decode_profile, encode_checkpoint, encode_profile,
+    ArtifactStore, ProfileArtifact, StoreKey, WarmupCheckpoint,
 };
 use prophet_temporal::{TemporalConfig, TemporalEngine, Triage, Triangel, TriangelConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Whether [`store_warn`] actually prints. Tests that exercise store
+/// error paths on purpose (or that compare stderr) silence it with
+/// [`set_store_warnings`]; the default keeps operators informed.
+static STORE_WARNINGS: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables the harness's store warnings (process-wide).
+pub fn set_store_warnings(enabled: bool) {
+    STORE_WARNINGS.store(enabled, Ordering::Relaxed);
+}
+
+/// Single funnel for non-fatal artifact-store warnings: a store problem
+/// degrades to a cold run, so these are advisories, not errors — and the
+/// tests that provoke them can keep their output clean.
+fn store_warn(msg: std::fmt::Arguments<'_>) {
+    if STORE_WARNINGS.load(Ordering::Relaxed) {
+        eprintln!("{msg}");
+    }
+}
 
 /// Which L1 prefetcher a run uses (Figure 17 swaps stride for IPCP).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +69,35 @@ impl L1Scheme {
     }
 }
 
+/// How the scheme-independent warm-up is simulated (DESIGN.md §7).
+///
+/// `Full` drives the warm-up through the cycle-accurate engine and timing
+/// hierarchy — the default, and what every committed figure uses. `Fast`
+/// fast-forwards it: cache, replacement, and temporal-metadata state are
+/// driven functionally (one synthetic cycle per instruction) while the
+/// cycle-accurate engine and DRAM/MSHR timing are skipped. Fast checkpoints
+/// start the measurement from an idle engine, so measured figures diverge
+/// (bounded by the `warmup_mode` equivalence suite) — the mode is opt-in
+/// (`--warmup-mode fast`) and its store artifacts carry a `+wm=fast` spec
+/// tag so the two modes never share checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmupMode {
+    #[default]
+    Full,
+    Fast,
+}
+
+impl WarmupMode {
+    /// Parses the `--warmup-mode` flag value.
+    pub fn parse(s: &str) -> Result<WarmupMode, String> {
+        match s {
+            "full" => Ok(WarmupMode::Full),
+            "fast" => Ok(WarmupMode::Fast),
+            other => Err(format!("--warmup-mode: expected full|fast, got {other}")),
+        }
+    }
+}
+
 /// Shared experiment runner: system config + run lengths + L1 scheme.
 #[derive(Debug, Clone)]
 pub struct Harness {
@@ -53,6 +105,7 @@ pub struct Harness {
     pub warmup: u64,
     pub measure: u64,
     pub l1: L1Scheme,
+    pub warmup_mode: WarmupMode,
 }
 
 impl Default for Harness {
@@ -62,6 +115,7 @@ impl Default for Harness {
             warmup: 200_000,
             measure: 650_000,
             l1: L1Scheme::Stride,
+            warmup_mode: WarmupMode::Full,
         }
     }
 }
@@ -217,12 +271,18 @@ impl Harness {
     /// longer window can change a CRONO graph, not just its length — and
     /// the L1 scheme).
     fn workload_spec(&self, w: &dyn TraceSource) -> String {
-        format!(
+        let mut spec = format!(
             "{}@{}+l1={}",
             w.name(),
             self.warmup + self.measure,
             self.l1.tag()
-        )
+        );
+        // Fast-forwarded checkpoints are not interchangeable with full
+        // ones; tag the spec so the two modes never alias in the store.
+        if self.warmup_mode == WarmupMode::Fast {
+            spec.push_str("+wm=fast");
+        }
+        spec
     }
 
     /// Store key of this harness's warm-up checkpoint for `w`. Checkpoints
@@ -251,8 +311,17 @@ impl Harness {
 
     /// Simulates the scheme-independent warm-up of `w` and captures it as
     /// a checkpoint: machine state ([`WarmStart`]) plus the passively
-    /// trained temporal state.
+    /// trained temporal state. Dispatches on [`Harness::warmup_mode`].
     pub fn build_checkpoint(&self, w: &dyn TraceSource) -> WarmupCheckpoint {
+        match self.warmup_mode {
+            WarmupMode::Full => self.build_checkpoint_full(w),
+            WarmupMode::Fast => self.build_checkpoint_fast(w),
+        }
+    }
+
+    /// The cycle-accurate warm-up: engine + timing hierarchy, exactly the
+    /// state a measurement phase would have seen mid-run.
+    fn build_checkpoint_full(&self, w: &dyn TraceSource) -> WarmupCheckpoint {
         let mut engine = Engine::new(self.sys.core);
         let mut machine = WarmupMachine {
             mem: Hierarchy::new(&self.sys),
@@ -278,6 +347,52 @@ impl Harness {
         }
     }
 
+    /// The fast-forwarded warm-up: the demand/prefetch stream drives cache,
+    /// replacement, and temporal-observer state functionally through
+    /// [`Hierarchy::warm_access`] under a synthetic one-cycle-per-
+    /// instruction clock, skipping the ROB model and the DRAM/MSHR timing
+    /// path. The checkpoint's engine is an idle ROB at the synthetic clock
+    /// ([`EngineSnapshot::idle_at`]); DESIGN.md §7 lists the accepted
+    /// divergences and the equivalence suite pins their magnitude.
+    fn build_checkpoint_fast(&self, w: &dyn TraceSource) -> WarmupCheckpoint {
+        let mut machine = WarmupMachine {
+            mem: Hierarchy::new(&self.sys),
+            l1pf: self.l1.build(),
+            observer: TemporalEngine::new(TemporalConfig::simplified_profiling()),
+        };
+        let mut cursor = w.cursor();
+        let mut fed = 0u64;
+        while fed < self.warmup {
+            let Some(inst) = cursor.next_inst() else {
+                break;
+            };
+            if let Some(op) = inst.op {
+                let addr = op.addr();
+                let (l1_hit, ev) =
+                    machine
+                        .mem
+                        .warm_access(inst.pc, addr.line(), op.is_store(), fed);
+                if let Some(ev) = ev {
+                    machine.observe(&ev);
+                }
+                for target in machine.l1pf.on_l1_access(inst.pc, addr, l1_hit) {
+                    if let Some(ev) = machine.mem.warm_l1_prefetch(inst.pc, target.line(), fed) {
+                        machine.observe(&ev);
+                    }
+                }
+            }
+            fed += 1;
+        }
+        WarmupCheckpoint {
+            warm: WarmStart {
+                engine: EngineSnapshot::idle_at(&self.sys.core, fed, fed),
+                memory: machine.mem.snapshot(),
+                warmup: self.warmup,
+            },
+            temporal: machine.observer.warmup_snapshot(),
+        }
+    }
+
     /// Loads `w`'s checkpoint from the store, or builds and saves it. The
     /// built checkpoint is returned *through the codec* (encode → decode),
     /// so a cold run and a later warm run restore bit-identical state —
@@ -291,17 +406,20 @@ impl Harness {
         match store.load_checkpoint(&key) {
             Ok(Some(ckpt)) => return ckpt,
             Ok(None) => {}
-            Err(e) => eprintln!(
+            Err(e) => store_warn(format_args!(
                 "store: ignoring unreadable checkpoint for {}: {e}",
                 key.workload
-            ),
+            )),
         }
         let ckpt = self.build_checkpoint(w);
         let bytes = encode_checkpoint(&key, &ckpt);
         let (_, round_tripped) =
             decode_checkpoint(&bytes).expect("freshly encoded checkpoint must decode");
         if let Err(e) = store.save_checkpoint(&key, &ckpt) {
-            eprintln!("store: could not save checkpoint for {}: {e}", key.workload);
+            store_warn(format_args!(
+                "store: could not save checkpoint for {}: {e}",
+                key.workload
+            ));
         }
         round_tripped
     }
@@ -340,48 +458,161 @@ impl Harness {
         Rpg2Pipeline::new(self.sys.clone(), self.warmup, self.measure).run_warm(w, &ckpt.warm)
     }
 
+    /// Materializes the measurement window of `w` once: skip `skip`
+    /// instructions, then collect up to `self.measure`. Multi-pass
+    /// pipelines replay the buffer instead of regenerating the trace per
+    /// pass (`WarmStart::simulate_window` pins the replay bit-identical to
+    /// the cursor path).
+    fn materialize_window(&self, w: &dyn TraceSource, skip: u64) -> Vec<TraceInst> {
+        let mut cursor = w.cursor();
+        let mut skipped = 0u64;
+        while skipped < skip {
+            if cursor.next_inst().is_none() {
+                break;
+            }
+            skipped += 1;
+        }
+        let mut window = Vec::with_capacity(self.measure.min(1 << 24) as usize);
+        let mut got = 0u64;
+        while got < self.measure {
+            match cursor.next_inst() {
+                Some(inst) => window.push(inst),
+                None => break,
+            }
+            got += 1;
+        }
+        window
+    }
+
+    /// Prophet's profiling pass from a shared warm-up over a materialized
+    /// window (the paper profiles under the stride L1).
+    fn prophet_profile_pass(
+        &self,
+        w: &dyn TraceSource,
+        ckpt: &WarmupCheckpoint,
+        window: &[TraceInst],
+    ) -> ProfileCounters {
+        let mut tp = SimplifiedTp::new();
+        tp.seed_warmup(&ckpt.temporal);
+        let profile_report = ckpt.warm.simulate_window(
+            &self.sys,
+            &w.name(),
+            window,
+            Box::new(StridePrefetcher::default()),
+            Box::new(tp),
+        );
+        ProfileCounters::from_report(&profile_report)
+    }
+
+    /// Prophet's learn → analyze → optimized run from a shared warm-up
+    /// over a materialized window.
+    fn prophet_optimized_pass(
+        &self,
+        w: &dyn TraceSource,
+        ckpt: &WarmupCheckpoint,
+        window: &[TraceInst],
+        counters: ProfileCounters,
+    ) -> SimReport {
+        let mut learned = LearnedProfile::new();
+        learned.learn(counters);
+        let hints = learned.build_hints(&AnalysisConfig::default());
+        let mut prophet = Prophet::new(ProphetConfig::default(), &hints);
+        prophet.seed_warmup(&ckpt.temporal);
+        ckpt.warm.simulate_window(
+            &self.sys,
+            &w.name(),
+            window,
+            self.l1.build(),
+            Box::new(prophet),
+        )
+    }
+
     /// Full Prophet from a shared warm-up checkpoint: the profiling pass
     /// runs the simplified prefetcher seeded with the checkpoint's temporal
     /// state, analysis derives the hints, and the optimized pass runs
     /// Prophet seeded the same way. Mirrors [`Harness::prophet`], minus the
-    /// per-phase warm-up re-simulation. Returns `(report, counters)` so a
-    /// caller with a store can persist the profile artifact.
+    /// per-phase warm-up re-simulation; both passes replay one materialized
+    /// window. Returns `(report, counters)` so a caller with a store can
+    /// persist the profile artifact.
     pub fn prophet_warm_with_profile(
         &self,
         w: &dyn TraceSource,
         ckpt: &WarmupCheckpoint,
     ) -> (SimReport, ProfileCounters) {
-        // Step 1: profile (the paper profiles under the stride L1).
-        let mut tp = SimplifiedTp::new();
-        tp.seed_warmup(&ckpt.temporal);
-        let profile_report = ckpt.warm.simulate(
-            &self.sys,
-            w,
-            Box::new(StridePrefetcher::default()),
-            Box::new(tp),
-            self.measure,
-        );
-        let counters = ProfileCounters::from_report(&profile_report);
-        // Steps 2–3: learn + analyze.
-        let mut learned = LearnedProfile::new();
-        learned.learn(counters.clone());
-        let hints = learned.build_hints(&AnalysisConfig::default());
-        // Optimized run under full Prophet.
-        let mut prophet = Prophet::new(ProphetConfig::default(), &hints);
-        prophet.seed_warmup(&ckpt.temporal);
-        let report = ckpt.warm.simulate(
-            &self.sys,
-            w,
-            self.l1.build(),
-            Box::new(prophet),
-            self.measure,
-        );
+        let window = self.materialize_window(w, ckpt.warm.warmup);
+        let counters = self.prophet_profile_pass(w, ckpt, &window);
+        let report = self.prophet_optimized_pass(w, ckpt, &window, counters.clone());
         (report, counters)
     }
 
     /// [`Harness::prophet_warm_with_profile`], report only.
     pub fn prophet_warm(&self, w: &dyn TraceSource, ckpt: &WarmupCheckpoint) -> SimReport {
         self.prophet_warm_with_profile(w, ckpt).0
+    }
+
+    /// [`Harness::prophet_warm`] with store-backed profile reuse: the
+    /// learned counters are loaded from the store when present, otherwise
+    /// computed by the profiling pass and saved. Freshly computed counters
+    /// round-trip through the codec before use — exactly like
+    /// [`Harness::checkpoint_via_store`] — so a cold run and a later warm
+    /// run learn from bit-identical counter images and produce
+    /// bit-identical reports. A warm run skips the profiling simulation
+    /// entirely (half of Prophet's measured work).
+    pub fn prophet_warm_stored(
+        &self,
+        w: &dyn TraceSource,
+        ckpt: &WarmupCheckpoint,
+        store: &ArtifactStore,
+    ) -> SimReport {
+        let key = self.profile_key(w);
+        let window = self.materialize_window(w, ckpt.warm.warmup);
+        let counters = match store.load_profile(&key) {
+            Ok(Some(artifact)) => artifact.counters,
+            other => {
+                if let Err(e) = other {
+                    store_warn(format_args!(
+                        "store: ignoring unreadable profile for {}: {e}",
+                        key.workload
+                    ));
+                }
+                let counters = self.prophet_profile_pass(w, ckpt, &window);
+                let artifact = ProfileArtifact { counters, loops: 1 };
+                let bytes = encode_profile(&key, &artifact);
+                let (_, round_tripped) =
+                    decode_profile(&bytes).expect("freshly encoded profile must decode");
+                if let Err(e) = store.save_profile(&key, &round_tripped) {
+                    store_warn(format_args!(
+                        "store: could not save profile for {}: {e}",
+                        key.workload
+                    ));
+                }
+                round_tripped.counters
+            }
+        };
+        self.prophet_optimized_pass(w, ckpt, &window, counters)
+    }
+
+    /// RPG2 over a shared (in-memory) warm-up: one warm-up feeds the
+    /// identification baseline and the whole distance sweep. In `Fast`
+    /// warm-up mode the shared warm-up itself is fast-forwarded.
+    pub fn rpg2_shared(&self, w: &dyn TraceSource) -> Rpg2Result {
+        match self.warmup_mode {
+            WarmupMode::Full => {
+                Rpg2Pipeline::new(self.sys.clone(), self.warmup, self.measure).run_shared(w)
+            }
+            WarmupMode::Fast => {
+                let ckpt = self.build_checkpoint(w);
+                self.rpg2_warm(w, &ckpt)
+            }
+        }
+    }
+
+    /// Prophet over a shared (in-memory) warm-up: one warm-up (full or
+    /// fast per [`Harness::warmup_mode`]) feeds both the profiling and the
+    /// optimized pass, which replay one materialized window.
+    pub fn prophet_shared(&self, w: &dyn TraceSource) -> SimReport {
+        let ckpt = self.build_checkpoint(w);
+        self.prophet_warm(w, &ckpt)
     }
 }
 
@@ -515,11 +746,12 @@ impl Harness {
                 },
                 Some(ckpts) => {
                     let ckpt = &ckpts[cell / MATRIX_SCHEMES.len()];
+                    let store = store.expect("checkpoints imply a store");
                     match scheme {
                         Scheme::Baseline => Cell::Sim(self.baseline_warm(w, ckpt)),
                         Scheme::Rpg2 => Cell::Rpg2(self.rpg2_warm(w, ckpt)),
                         Scheme::Triangel => Cell::Sim(self.triangel_warm(w, ckpt)),
-                        Scheme::Prophet => Cell::Sim(self.prophet_warm(w, ckpt)),
+                        Scheme::Prophet => Cell::Sim(self.prophet_warm_stored(w, ckpt, store)),
                     }
                 }
             }
@@ -596,6 +828,9 @@ pub struct RunArgs {
     /// floors every graph at N vertices so the paper-scale 1 M+ runs
     /// don't disturb the default workload registry.
     pub vertices: Option<usize>,
+    /// `--warmup-mode full|fast` (DESIGN.md §7; `full` is the default and
+    /// what every committed figure uses).
+    pub warmup_mode: WarmupMode,
     pub rest: Vec<String>,
 }
 
@@ -609,6 +844,7 @@ impl RunArgs {
             jobs: 0,
             store: None,
             vertices: None,
+            warmup_mode: WarmupMode::Full,
             rest: Vec::new(),
         };
         let mut args = args.peekable();
@@ -624,6 +860,10 @@ impl RunArgs {
                 "--vertices" => out.vertices = Some(take("--vertices")? as usize),
                 "--store" => {
                     out.store = Some(args.next().ok_or("--store needs a directory")?);
+                }
+                "--warmup-mode" => {
+                    let v = args.next().ok_or("--warmup-mode needs a value")?;
+                    out.warmup_mode = WarmupMode::parse(&v)?;
                 }
                 f if f.starts_with("--") => return Err(format!("unknown flag: {f}")),
                 _ => out.rest.push(a),
@@ -669,6 +909,7 @@ impl RunArgs {
         Harness {
             warmup: self.warmup.unwrap_or(default.warmup),
             measure: self.insts.unwrap_or(default.measure),
+            warmup_mode: self.warmup_mode,
             ..default
         }
     }
@@ -680,10 +921,12 @@ impl RunArgs {
 pub fn report_store_activity(store: &ArtifactStore) {
     let a = store.activity();
     eprintln!(
-        "store {}: {} checkpoint(s) reused, {} created",
+        "store {}: {} checkpoint(s) reused, {} created; {} profile(s) reused, {} created",
         store.dir().display(),
         a.checkpoints_reused,
-        a.checkpoints_created
+        a.checkpoints_created,
+        a.profiles_reused,
+        a.profiles_created
     );
 }
 

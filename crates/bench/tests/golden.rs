@@ -61,6 +61,18 @@ fn fig15_crono_short_window_matches_snapshot() {
 }
 
 #[test]
+fn fig12_coverage_accuracy_short_window_matches_snapshot() {
+    run_golden(
+        env!("CARGO_BIN_EXE_fig12_coverage_accuracy"),
+        &["--insts", "120000", "--warmup", "60000", "--jobs", "2"],
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/fig12_coverage_accuracy.txt"
+        ),
+    );
+}
+
+#[test]
 fn fig11_traffic_short_window_matches_snapshot() {
     run_golden(
         env!("CARGO_BIN_EXE_fig11_traffic"),

@@ -1,0 +1,102 @@
+//! Equivalence suite for the fast-forwarded warm-up (`--warmup-mode
+//! fast`, DESIGN.md §7). Fast mode drives cache/replacement/temporal
+//! state functionally and skips the cycle-accurate engine and DRAM/MSHR
+//! timing, so it is *not* bit-identical to the full warm-up — these tests
+//! quantify the divergence and pin it:
+//!
+//! * the warmed cache **contents** must stay near-identical (the
+//!   functional path performs the same eager fills in the same order);
+//! * measured figures from a fast checkpoint must stay within a bounded
+//!   envelope of the full-warm-up figures;
+//! * the default stays `full`, and the two modes never alias in the
+//!   artifact store.
+
+use prophet_bench::{Harness, RunArgs, WarmupMode};
+use prophet_sim_mem::cache::CacheSnapshot;
+use prophet_workloads::workload_sized;
+use std::collections::HashSet;
+
+fn harness(mode: WarmupMode) -> Harness {
+    Harness {
+        warmup: 150_000,
+        measure: 100_000,
+        warmup_mode: mode,
+        ..Harness::default()
+    }
+}
+
+/// Jaccard overlap of the resident line-address sets of two cache images.
+fn tag_overlap(a: &CacheSnapshot, b: &CacheSnapshot) -> f64 {
+    let tags = |c: &CacheSnapshot| -> HashSet<u64> {
+        c.lines.iter().flatten().map(|l| l.line.0).collect()
+    };
+    let (ta, tb) = (tags(a), tags(b));
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    ta.intersection(&tb).count() as f64 / ta.union(&tb).count() as f64
+}
+
+#[test]
+fn fast_warm_up_preserves_cache_contents() {
+    let w = workload_sized("bfs_80000_8", 250_000);
+    let full = harness(WarmupMode::Full).build_checkpoint(w.as_ref());
+    let fast = harness(WarmupMode::Fast).build_checkpoint(w.as_ref());
+    let l2 = tag_overlap(&full.warm.memory.l2, &fast.warm.memory.l2);
+    let llc = tag_overlap(&full.warm.memory.llc, &fast.warm.memory.llc);
+    // The functional path replays the same demand/prefetch fill sequence;
+    // only timing-dependent residue (in-flight fills, DRAM write-back
+    // scheduling) may differ at the snapshot boundary.
+    assert!(l2 >= 0.90, "L2 content overlap too low: {l2:.3}");
+    assert!(llc >= 0.90, "LLC content overlap too low: {llc:.3}");
+}
+
+#[test]
+fn fast_checkpoint_figures_stay_within_envelope() {
+    let w = workload_sized("pagerank_100000_100", 250_000);
+    let hf = harness(WarmupMode::Full);
+    let hq = harness(WarmupMode::Fast);
+    let full_ckpt = hf.build_checkpoint(w.as_ref());
+    let fast_ckpt = hq.build_checkpoint(w.as_ref());
+    let full = hf.baseline_warm(w.as_ref(), &full_ckpt);
+    let fast = hq.baseline_warm(w.as_ref(), &fast_ckpt);
+    assert!(fast.ipc.is_finite() && fast.ipc > 0.0);
+    let rel = (fast.ipc - full.ipc).abs() / full.ipc;
+    // The fast checkpoint restarts the measurement from an idle ROB under
+    // a synthetic clock: the divergence is a short pipeline-refill
+    // transient plus DRAM/MSHR timing residue, bounded well inside the
+    // envelope (measured ~1–5% on the CRONO kernels).
+    assert!(
+        rel <= 0.15,
+        "fast-warm-up baseline IPC diverged {:.1}% from full (full {:.4}, fast {:.4})",
+        rel * 100.0,
+        full.ipc,
+        fast.ipc
+    );
+    // The whole scheme matrix must be drivable from a fast checkpoint.
+    let tri = hq.triangel_warm(w.as_ref(), &fast_ckpt);
+    let (pro, _) = hq.prophet_warm_with_profile(w.as_ref(), &fast_ckpt);
+    assert!(tri.ipc.is_finite() && tri.ipc > 0.0);
+    assert!(pro.ipc.is_finite() && pro.ipc > 0.0);
+}
+
+#[test]
+fn fast_mode_is_opt_in_and_does_not_alias_in_the_store() {
+    assert_eq!(Harness::default().warmup_mode, WarmupMode::Full);
+    let parsed = RunArgs::parse(["--warmup-mode", "fast"].into_iter().map(String::from))
+        .expect("flag parses");
+    assert_eq!(parsed.warmup_mode, WarmupMode::Fast);
+    assert_eq!(
+        RunArgs::parse(std::iter::empty()).unwrap().warmup_mode,
+        WarmupMode::Full,
+        "full stays the default"
+    );
+    assert!(WarmupMode::parse("frob").is_err());
+
+    // Checkpoints from the two modes must live under different store keys.
+    let w = workload_sized("bfs_80000_8", 250_000);
+    let kf = harness(WarmupMode::Full).checkpoint_key(w.as_ref());
+    let kq = harness(WarmupMode::Fast).checkpoint_key(w.as_ref());
+    assert_ne!(kf, kq, "fast checkpoints must not alias full ones");
+    assert!(kq.workload.contains("+wm=fast"));
+}

@@ -11,7 +11,7 @@
 //! instrumentation; in our substrate they are the `dep_back` links of the
 //! trace.
 
-use prophet_sim_core::trace::{MemOp, TraceSource};
+use prophet_sim_core::trace::{MemOp, TraceInst, TraceSource};
 use prophet_sim_mem::FlatMap;
 use std::collections::HashMap;
 
@@ -82,64 +82,89 @@ struct RingSlot {
     is_load: bool,
 }
 
-impl KernelAnalysis {
-    /// Scans a trace and gathers per-PC statistics. Pure software analysis
-    /// — no simulation involved.
+/// Incremental trace scanner: feed instructions with [`KernelScan::observe`]
+/// in trace order, then [`KernelScan::finish`]. `KernelAnalysis::scan` is a
+/// one-call wrapper; the shared-sweep pipeline instead fuses the scan into
+/// the streaming pass it already makes (warm-up simulation + window
+/// materialization), so the trace is generated once, not once per analysis.
+#[derive(Debug)]
+pub struct KernelScan {
+    pcs: FlatMap<ScanState>,
+    ring: Vec<RingSlot>,
+    abs: u64,
+    win_start: u64,
+}
+
+impl Default for KernelScan {
+    fn default() -> Self {
+        KernelScan::new()
+    }
+}
+
+impl KernelScan {
+    /// An empty scanner.
+    pub fn new() -> Self {
+        KernelScan {
+            pcs: FlatMap::with_capacity(64),
+            ring: vec![RingSlot::default(); WINDOW],
+            abs: 0,
+            win_start: 0,
+        }
+    }
+
+    /// Observes the next instruction of the trace.
     ///
     /// The dependency window is a fixed ring over the last `WINDOW`
     /// instructions. Like the drained-`Vec` formulation it replaces, a
     /// `dep_back` edge resolves only while its producer is still inside
     /// the retained window (`win_start` advances by half a window whenever
     /// the window fills, reproducing the old drain boundary exactly).
-    pub fn scan(source: &dyn TraceSource) -> Self {
-        let mut pcs: FlatMap<ScanState> = FlatMap::with_capacity(64);
-        let mut ring = vec![RingSlot::default(); WINDOW];
-        let mut abs: u64 = 0;
-        let mut win_start: u64 = 0;
-
-        for inst in source.stream() {
-            ring[(abs as usize) & (WINDOW - 1)] = RingSlot {
-                pc: inst.pc.0,
-                is_load: matches!(inst.op, Some(MemOp::Load(_))),
-            };
-            if let Some(MemOp::Load(addr)) = inst.op {
-                let s = pcs.get_or_insert_with(inst.pc.0, ScanState::default);
-                s.loads += 1;
-                if s.has_last {
-                    let d = addr.0 as i64 - s.last_addr as i64;
-                    if d != 0 {
-                        s.delta_count += 1;
-                        *s.deltas.get_or_insert_with(d as u64, || 0) += 1;
-                    }
+    pub fn observe(&mut self, inst: &TraceInst) {
+        let abs = self.abs;
+        self.ring[(abs as usize) & (WINDOW - 1)] = RingSlot {
+            pc: inst.pc.0,
+            is_load: matches!(inst.op, Some(MemOp::Load(_))),
+        };
+        if let Some(MemOp::Load(addr)) = inst.op {
+            let s = self.pcs.get_or_insert_with(inst.pc.0, ScanState::default);
+            s.loads += 1;
+            if s.has_last {
+                let d = addr.0 as i64 - s.last_addr as i64;
+                if d != 0 {
+                    s.delta_count += 1;
+                    *s.deltas.get_or_insert_with(d as u64, || 0) += 1;
                 }
-                s.last_addr = addr.0;
-                s.has_last = true;
-                // Producer attribution through the dependency edge.
-                if let Some(back) = inst.dep_back {
-                    let back = back as u64;
-                    if back <= abs && abs - back >= win_start {
-                        let p = ring[((abs - back) as usize) & (WINDOW - 1)];
-                        if p.is_load {
-                            if !s.has_producer {
-                                s.has_producer = true;
-                                s.producer_pc = p.pc;
-                                s.producer_count = 0;
-                            }
-                            if s.producer_pc == p.pc {
-                                s.producer_count += 1;
-                            }
+            }
+            s.last_addr = addr.0;
+            s.has_last = true;
+            // Producer attribution through the dependency edge.
+            if let Some(back) = inst.dep_back {
+                let back = back as u64;
+                if back <= abs && abs - back >= self.win_start {
+                    let p = self.ring[((abs - back) as usize) & (WINDOW - 1)];
+                    if p.is_load {
+                        if !s.has_producer {
+                            s.has_producer = true;
+                            s.producer_pc = p.pc;
+                            s.producer_count = 0;
+                        }
+                        if s.producer_pc == p.pc {
+                            s.producer_count += 1;
                         }
                     }
                 }
             }
-            abs += 1;
-            if abs - win_start > WINDOW as u64 {
-                win_start += (WINDOW / 2) as u64;
-            }
         }
-        // Finalize: modal deltas and the public per-PC map.
-        let mut streams: HashMap<u64, PcStream> = HashMap::with_capacity(pcs.len());
-        for (pc, st) in pcs.iter() {
+        self.abs += 1;
+        if self.abs - self.win_start > WINDOW as u64 {
+            self.win_start += (WINDOW / 2) as u64;
+        }
+    }
+
+    /// Finalizes: modal deltas and the public per-PC map.
+    pub fn finish(self) -> KernelAnalysis {
+        let mut streams: HashMap<u64, PcStream> = HashMap::with_capacity(self.pcs.len());
+        for (pc, st) in self.pcs.iter() {
             let mut s = PcStream {
                 loads: st.loads,
                 delta_count: st.delta_count,
@@ -160,6 +185,18 @@ impl KernelAnalysis {
             streams.insert(pc, s);
         }
         KernelAnalysis { streams }
+    }
+}
+
+impl KernelAnalysis {
+    /// Scans a trace and gathers per-PC statistics. Pure software analysis
+    /// — no simulation involved. One-call wrapper over [`KernelScan`].
+    pub fn scan(source: &dyn TraceSource) -> Self {
+        let mut scan = KernelScan::new();
+        for inst in source.stream() {
+            scan.observe(&inst);
+        }
+        scan.finish()
     }
 
     /// Applies the RPG2 qualification rule given per-PC L2 miss counts from

@@ -16,6 +16,8 @@ pub mod kernel;
 pub mod rpg2;
 pub mod swpf;
 
-pub use kernel::{KernelAnalysis, PcStream, MISS_SHARE_THRESHOLD, STRIDE_MODE_THRESHOLD};
+pub use kernel::{
+    KernelAnalysis, KernelScan, PcStream, MISS_SHARE_THRESHOLD, STRIDE_MODE_THRESHOLD,
+};
 pub use rpg2::{Rpg2Pipeline, Rpg2Result, DISTANCE_CANDIDATES};
 pub use swpf::Rpg2Prefetcher;

@@ -1,9 +1,9 @@
 //! The RPG2 pipeline: identify → instrument → tune distance.
 
-use crate::kernel::KernelAnalysis;
+use crate::kernel::{KernelAnalysis, KernelScan};
 use crate::swpf::Rpg2Prefetcher;
 use prophet_prefetch::{NoL2Prefetch, StridePrefetcher};
-use prophet_sim_core::{simulate, SimReport, TraceSource, WarmStart};
+use prophet_sim_core::{simulate, SimReport, Simulator, TraceInst, TraceSource, WarmStart};
 use prophet_sim_mem::SystemConfig;
 use std::collections::HashMap;
 
@@ -131,15 +131,112 @@ impl Rpg2Pipeline {
     /// checkpointed machine state instead of re-simulating the warm-up
     /// (RPG2 is the worst offender of the cold path — up to six warm-ups
     /// per workload).
+    ///
+    /// One streaming pass over the trace replaces the cold path's
+    /// per-pass cursor regeneration *and* the separate `scan` stream: the
+    /// warm-up prefix feeds the kernel scanner while being skipped, the
+    /// measurement window is materialized once, and every pass replays it
+    /// (bit-identical to the cursor path — see
+    /// `WarmStart::simulate_window`).
     pub fn run_warm(&self, workload: &dyn TraceSource, warm: &WarmStart) -> Rpg2Result {
-        let mut base = warm.simulate(
-            &self.sys,
-            workload,
+        let mut scan = KernelScan::new();
+        let mut cursor = workload.cursor();
+        let mut skipped = 0u64;
+        while skipped < warm.warmup {
+            match cursor.next_inst() {
+                Some(inst) => scan.observe(&inst),
+                None => break,
+            }
+            skipped += 1;
+        }
+        let window = Self::collect_window(&mut *cursor, self.measure, &mut scan);
+        self.sweep_shared(&workload.name(), warm, &window, &scan.finish())
+    }
+
+    /// The full pipeline over a *self-built* shared warm-up: simulate the
+    /// baseline warm-up once, snapshot it, and measure the identification
+    /// baseline plus every distance candidate from the shared snapshot.
+    /// Compared to [`Rpg2Pipeline::run`], qualifying workloads pay one
+    /// warm-up instead of six; the measurement semantics follow the
+    /// checkpoint-validity rule (every pass starts its prefetchers fresh
+    /// at the measurement boundary), exactly like the store-backed warm
+    /// path — `run_shared` with no store is `run_warm` with a checkpoint
+    /// built in place. The reference suite pins it bit-identical to
+    /// per-candidate `WarmStart::simulate` calls from the same warm-up.
+    pub fn run_shared(&self, workload: &dyn TraceSource) -> Rpg2Result {
+        let mut sim = Simulator::new(
+            self.sys.clone(),
             Box::new(StridePrefetcher::default()),
             Box::new(NoL2Prefetch),
-            self.measure,
         );
-        let qualified = Self::qualify_from(&base, workload);
+        let mut scan = KernelScan::new();
+        let mut cursor = workload.cursor();
+        let mut fed = 0u64;
+        while fed < self.warmup {
+            match cursor.next_inst() {
+                Some(inst) => {
+                    scan.observe(&inst);
+                    sim.step(&inst);
+                }
+                None => break,
+            }
+            fed += 1;
+        }
+        let warm = WarmStart {
+            engine: sim.engine_snapshot(),
+            memory: sim.mem_system().hierarchy().snapshot(),
+            warmup: fed,
+        };
+        let window = Self::collect_window(&mut *cursor, self.measure, &mut scan);
+        self.sweep_shared(&workload.name(), &warm, &window, &scan.finish())
+    }
+
+    /// Drains up to `measure` instructions from an already-positioned
+    /// cursor into a materialized window, feeding each to the scanner.
+    fn collect_window(
+        cursor: &mut dyn prophet_sim_core::trace::TraceCursor,
+        measure: u64,
+        scan: &mut KernelScan,
+    ) -> Vec<TraceInst> {
+        let mut window = Vec::with_capacity(measure.min(1 << 24) as usize);
+        let mut got = 0u64;
+        while got < measure {
+            match cursor.next_inst() {
+                Some(inst) => {
+                    scan.observe(&inst);
+                    window.push(inst);
+                }
+                None => break,
+            }
+            got += 1;
+        }
+        window
+    }
+
+    /// The measurement half shared by [`Rpg2Pipeline::run_warm`] and
+    /// [`Rpg2Pipeline::run_shared`]: baseline pass, qualification, then
+    /// the distance sweep, all replaying one materialized window from one
+    /// warm state.
+    fn sweep_shared(
+        &self,
+        name: &str,
+        warm: &WarmStart,
+        window: &[TraceInst],
+        analysis: &KernelAnalysis,
+    ) -> Rpg2Result {
+        let mut base = warm.simulate_window(
+            &self.sys,
+            name,
+            window,
+            Box::new(StridePrefetcher::default()),
+            Box::new(NoL2Prefetch),
+        );
+        let misses: HashMap<u64, u64> = base
+            .per_pc
+            .iter()
+            .map(|(&pc, s)| (pc, s.l2_misses))
+            .collect();
+        let qualified = analysis.qualify(&misses);
         if qualified.is_empty() {
             base.scheme = "rpg2".into();
             return Rpg2Result {
@@ -150,12 +247,12 @@ impl Rpg2Pipeline {
         }
         let mut best: Option<(i64, SimReport)> = None;
         for &d in &DISTANCE_CANDIDATES {
-            let r = warm.simulate(
+            let r = warm.simulate_window(
                 &self.sys,
-                workload,
+                name,
+                window,
                 Box::new(StridePrefetcher::default()),
                 Box::new(Rpg2Prefetcher::with_uniform_distance(&qualified, d)),
-                self.measure,
             );
             let better = match &best {
                 None => true,

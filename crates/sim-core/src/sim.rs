@@ -175,6 +175,20 @@ impl Simulator {
         self.report(source.name())
     }
 
+    /// Measures a pre-materialized instruction window: resets statistics
+    /// (the warm-up boundary) and feeds every instruction of `window`.
+    /// Feeding a slice is bit-identical to feeding the same instructions
+    /// from a cursor — sweeps that measure one window many times (RPG2's
+    /// distance tuner, Prophet's profile + optimized passes) materialize
+    /// it once instead of regenerating the whole trace per pass.
+    pub fn run_measure_window(&mut self, name: &str, window: &[TraceInst]) -> SimReport {
+        self.reset_stats();
+        for inst in window {
+            self.step(inst);
+        }
+        self.report(name.to_string())
+    }
+
     /// Feeds a single instruction (exposed for incremental drivers/tests).
     pub fn step(&mut self, inst: &TraceInst) {
         self.engine.step(inst, &mut self.memsys);
@@ -258,6 +272,25 @@ impl WarmStart {
         let mut sim = Simulator::new(cfg.clone(), l1pf, l2pf);
         sim.restore_warmup(&self.engine, &self.memory);
         sim.run_measure(source, self.warmup, measure)
+    }
+
+    /// [`WarmStart::simulate`] over a pre-materialized measurement window
+    /// (the `measure` instructions that follow the warm-up). Bit-identical
+    /// to the cursor path — `run_measure`'s fast-forward does not simulate
+    /// the skipped instructions, so only the fed window matters — while
+    /// letting a multi-pass sweep regenerate the trace once instead of
+    /// once per pass.
+    pub fn simulate_window(
+        &self,
+        cfg: &SystemConfig,
+        name: &str,
+        window: &[TraceInst],
+        l1pf: Box<dyn L1Prefetcher>,
+        l2pf: Box<dyn L2Prefetcher>,
+    ) -> SimReport {
+        let mut sim = Simulator::new(cfg.clone(), l1pf, l2pf);
+        sim.restore_warmup(&self.engine, &self.memory);
+        sim.run_measure_window(name, window)
     }
 }
 
@@ -405,6 +438,66 @@ mod tests {
             measure,
         );
         assert_eq!(cold, warm_report);
+    }
+
+    /// A materialized measurement window must replay bit-identically to
+    /// the cursor fast-forward path — the property the shared-sweep
+    /// pipelines (RPG2 tuning, Prophet's passes) rely on.
+    #[test]
+    fn simulate_window_matches_cursor_path() {
+        let cfg = SystemConfig::isca25();
+        let trace = dependent_stride_trace(60_000);
+        let (warmup, measure) = (20_000u64, 30_000u64);
+        let mut warmer =
+            Simulator::new(cfg.clone(), Box::new(NoL1Prefetch), Box::new(NoL2Prefetch));
+        let mut cursor = trace.cursor();
+        for _ in 0..warmup {
+            warmer.step(&cursor.next_inst().expect("trace covers warm-up"));
+        }
+        let warm = WarmStart {
+            engine: warmer.engine_snapshot(),
+            memory: warmer.mem_system().hierarchy().snapshot(),
+            warmup,
+        };
+        let window: Vec<TraceInst> = (0..measure).map_while(|_| cursor.next_inst()).collect();
+        let via_cursor = warm.simulate(
+            &cfg,
+            &trace,
+            Box::new(NoL1Prefetch),
+            Box::new(NoL2Prefetch),
+            measure,
+        );
+        let via_window = warm.simulate_window(
+            &cfg,
+            "dep-stream",
+            &window,
+            Box::new(NoL1Prefetch),
+            Box::new(NoL2Prefetch),
+        );
+        assert_eq!(via_cursor, via_window);
+    }
+
+    /// An idle-engine snapshot (the fast warm-up's pipeline image) must
+    /// restore cleanly and resolve early dependency edges against its
+    /// warm-up slot count.
+    #[test]
+    fn idle_engine_snapshot_measures_from_cycle() {
+        let cfg = SystemConfig::isca25();
+        let trace = dependent_stride_trace(30_000);
+        let warm = WarmStart {
+            engine: crate::engine::EngineSnapshot::idle_at(&cfg.core, 5_000, 10_000),
+            memory: Hierarchy::new(&cfg).snapshot(),
+            warmup: 10_000,
+        };
+        let r = warm.simulate(
+            &cfg,
+            &trace,
+            Box::new(NoL1Prefetch),
+            Box::new(NoL2Prefetch),
+            10_000,
+        );
+        assert_eq!(r.instructions, 10_000);
+        assert!(r.ipc > 0.0, "measurement proceeds from the idle snapshot");
     }
 
     #[test]

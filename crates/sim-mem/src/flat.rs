@@ -44,13 +44,19 @@ fn slot_of(key: u64, mask: usize) -> usize {
 /// * entries are never removed individually — [`FlatMap::clear`] is the
 ///   only way to forget keys — so a probe chain never crosses a tombstone
 ///   and `get` can stop at the first free slot;
-/// * `clear` keeps the allocation, so a table sized by warm-up traffic
-///   allocates nothing in steady state.
+/// * `clear` keeps the allocation and is O(1): occupancy is an epoch
+///   stamp per slot (`stamp[i] == epoch` means live), so clearing bumps
+///   the epoch instead of sweeping the table. Clear-heavy users — the
+///   inflight purge re-index runs once every few dozen DRAM fills —
+///   stop paying a capacity-sized memset per purge.
 #[derive(Debug, Clone)]
 pub struct FlatMap<V> {
     keys: Vec<u64>,
     vals: Vec<V>,
-    used: Vec<bool>,
+    /// Slot `i` is live iff `stamp[i] == epoch`. Stamps start at 0 and
+    /// `epoch` at 1, so a fresh table is empty.
+    stamp: Vec<u32>,
+    epoch: u32,
     len: usize,
 }
 
@@ -60,7 +66,8 @@ impl<V: Default + Clone> FlatMap<V> {
         FlatMap {
             keys: Vec::new(),
             vals: Vec::new(),
-            used: Vec::new(),
+            stamp: Vec::new(),
+            epoch: 1,
             len: 0,
         }
     }
@@ -84,9 +91,15 @@ impl<V: Default + Clone> FlatMap<V> {
         self.len == 0
     }
 
-    /// Forgets all entries but keeps the allocation.
+    /// Forgets all entries but keeps the allocation. O(1): bumps the
+    /// liveness epoch (with a sweep only at the u32 wrap, once per ~4
+    /// billion clears).
     pub fn clear(&mut self) {
-        self.used.fill(false);
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
         self.len = 0;
     }
 
@@ -102,7 +115,7 @@ impl<V: Default + Clone> FlatMap<V> {
         let mask = self.mask();
         let mut i = slot_of(key, mask);
         loop {
-            if !self.used[i] {
+            if self.stamp[i] != self.epoch {
                 return (i, false);
             }
             if self.keys[i] == key {
@@ -115,21 +128,23 @@ impl<V: Default + Clone> FlatMap<V> {
     /// Re-hashes into a table of `cap` slots (a power of two).
     fn rebuild(&mut self, cap: usize) {
         debug_assert!(cap.is_power_of_two() && cap * 3 / 4 >= self.len);
+        let old_epoch = self.epoch;
         let old_keys = std::mem::replace(&mut self.keys, vec![0; cap]);
         let old_vals = std::mem::replace(&mut self.vals, vec![V::default(); cap]);
-        let old_used = std::mem::replace(&mut self.used, vec![false; cap]);
+        let old_stamp = std::mem::replace(&mut self.stamp, vec![0; cap]);
+        self.epoch = 1;
         let mask = cap - 1;
-        for ((k, v), u) in old_keys.into_iter().zip(old_vals).zip(old_used) {
-            if !u {
+        for ((k, v), u) in old_keys.into_iter().zip(old_vals).zip(old_stamp) {
+            if u != old_epoch {
                 continue;
             }
             let mut i = slot_of(k, mask);
-            while self.used[i] {
+            while self.stamp[i] == self.epoch {
                 i = (i + 1) & mask;
             }
             self.keys[i] = k;
             self.vals[i] = v;
-            self.used[i] = true;
+            self.stamp[i] = self.epoch;
         }
     }
 
@@ -181,7 +196,7 @@ impl<V: Default + Clone> FlatMap<V> {
         } else {
             self.keys[i] = key;
             self.vals[i] = val;
-            self.used[i] = true;
+            self.stamp[i] = self.epoch;
             self.len += 1;
             None
         }
@@ -195,7 +210,7 @@ impl<V: Default + Clone> FlatMap<V> {
         if !found {
             self.keys[i] = key;
             self.vals[i] = make();
-            self.used[i] = true;
+            self.stamp[i] = self.epoch;
             self.len += 1;
         }
         &mut self.vals[i]
@@ -204,11 +219,12 @@ impl<V: Default + Clone> FlatMap<V> {
     /// Iterates live `(key, &value)` pairs in slot order (deterministic
     /// for a given insertion history, but *not* insertion order).
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
+        let epoch = self.epoch;
         self.keys
             .iter()
             .zip(&self.vals)
-            .zip(&self.used)
-            .filter(|&(_, &u)| u)
+            .zip(&self.stamp)
+            .filter(move |&(_, &u)| u == epoch)
             .map(|((&k, v), _)| (k, v))
     }
 }
@@ -352,6 +368,30 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(m.keys.len(), cap);
         assert_eq!(m.get(3), None);
+    }
+
+    #[test]
+    fn epoch_clear_isolates_generations() {
+        // Repeated clear/insert cycles (the inflight purge pattern): keys
+        // from one generation must never leak into the next, including
+        // re-inserting the same slots and iterating.
+        let mut m = FlatMap::with_capacity(32);
+        for gen in 0..10_000u64 {
+            m.clear();
+            assert!(m.is_empty());
+            assert_eq!(m.get(gen.wrapping_mul(31)), None);
+            for k in 0..8u64 {
+                m.insert(gen * 8 + k, gen);
+            }
+            assert_eq!(m.len(), 8);
+            assert_eq!(m.get(gen * 8 + 3), Some(&gen));
+            assert_eq!(
+                m.get(gen.wrapping_sub(1).wrapping_mul(8) + 3),
+                None,
+                "stale key"
+            );
+            assert_eq!(m.iter().count(), 8);
+        }
     }
 
     #[test]

@@ -112,6 +112,42 @@ fn flatmap_survives_adversarial_collisions() {
     assert_eq!(flat.len(), reference.len());
 }
 
+#[test]
+fn flatmap_epoch_clear_matches_hashmap_across_generations() {
+    // `clear()` is now an epoch bump (no memset): a slot written in an
+    // earlier generation must be invisible afterwards even though its
+    // key/value bytes are still physically present. A clear-heavy stream
+    // with a reused key universe is exactly the workload that would
+    // surface a stale-stamp bug.
+    for seed in 0..4u64 {
+        let mut rng = Rng(0xEC0C ^ seed);
+        let mut flat: FlatMap<u64> = FlatMap::new();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for step in 0..50_000u64 {
+            if rng.below(200) == 0 {
+                flat.clear();
+                reference.clear();
+            }
+            let key = rng.below(256);
+            if rng.below(2) == 0 {
+                let val = rng.next();
+                assert_eq!(
+                    flat.insert(key, val),
+                    reference.insert(key, val),
+                    "insert diverged at step {step} (seed {seed})"
+                );
+            } else {
+                assert_eq!(
+                    flat.get(key),
+                    reference.get(&key),
+                    "get saw a stale generation at step {step} (seed {seed})"
+                );
+            }
+            assert_eq!(flat.len(), reference.len());
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // InflightTable vs insertion-ordered reference
 // ---------------------------------------------------------------------------
@@ -184,6 +220,57 @@ fn inflight_table_matches_reference_model() {
             reference.entries.as_slice(),
             "entry order diverged (seed {seed})"
         );
+    }
+}
+
+/// The hierarchy's MSHR-delay computation, replayed both ways: the full
+/// sweep over the in-flight entries, and the batched fast path that skips
+/// the sweep whenever `len() < mshrs` (outstanding fills are a subset of
+/// the table, so the length alone proves the delay is zero). The two must
+/// agree on every query of a random insert/purge/query stream.
+#[test]
+fn mshr_delay_fast_path_matches_full_sweep() {
+    fn full_sweep(entries: &[(Line, u64)], now: u64, mshrs: usize) -> u64 {
+        let mut outstanding = 0usize;
+        let mut min_ready: Option<u64> = None;
+        for &(_, ready) in entries {
+            if ready > now {
+                outstanding += 1;
+                min_ready = Some(min_ready.map_or(ready, |m| m.min(ready)));
+            }
+        }
+        if outstanding < mshrs {
+            0
+        } else {
+            min_ready.map(|r| r.saturating_sub(now)).unwrap_or(0)
+        }
+    }
+
+    const MSHRS: usize = 16;
+    for seed in 0..4u64 {
+        let mut rng = Rng(0x0517 ^ seed);
+        let mut table = InflightTable::new();
+        let mut now = 0u64;
+        for step in 0..30_000u64 {
+            now += rng.below(3);
+            match rng.below(100) {
+                0..=69 => table.insert(Line(rng.below(600)), now + rng.below(300)),
+                70..=79 => table.retain_ready_after(now),
+                _ => {
+                    let fast = if table.len() < MSHRS {
+                        0
+                    } else {
+                        full_sweep(table.entries(), now, MSHRS)
+                    };
+                    assert_eq!(
+                        fast,
+                        full_sweep(table.entries(), now, MSHRS),
+                        "fast path diverged at step {step} (seed {seed}, len {})",
+                        table.len()
+                    );
+                }
+            }
+        }
     }
 }
 
