@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use prophet::{
     analyze, AnalysisConfig, MultiPathVictimBuffer, MvbConfig, PcProfile, ProfileCounters,
 };
-use prophet_prefetch::{L1Prefetcher, NoL2Prefetch, StridePrefetcher};
+use prophet_prefetch::{L1Prefetcher, NoL2Prefetch, RecentFilter, StridePrefetcher};
 use prophet_sim_core::{simulate, TraceInst, VecTrace};
 use prophet_sim_mem::hierarchy::L2Event;
 use prophet_sim_mem::{Addr, Line, Pc, SystemConfig};
@@ -53,6 +53,62 @@ fn bench_metadata_table(c: &mut Criterion) {
                 Pc(1),
                 (i % 4) as u8,
             );
+        });
+    });
+}
+
+fn bench_batched_probe(c: &mut Criterion) {
+    // The batched find-first is the inner loop of every metadata and
+    // cache-tag way scan; measure it at the metadata table's widest
+    // configuration (96 ways) against misses, the common case.
+    let mut tags = vec![0u16; 96];
+    for (i, t) in tags.iter_mut().enumerate() {
+        *t = 1 + i as u16;
+    }
+    c.bench_function("batched_find_first_u16_miss_96", |b| {
+        b.iter(|| black_box(prophet_sim_mem::find_first_u16(black_box(&tags), 0xFFFF)));
+    });
+    c.bench_function("batched_find_first_u16_hit_mid_96", |b| {
+        b.iter(|| black_box(prophet_sim_mem::find_first_u16(black_box(&tags), 48)));
+    });
+    c.bench_function("metadata_table_lookup_full_set", |b| {
+        let mut t = MetadataTable::new(
+            MetaTableConfig {
+                sets: 64,
+                max_ways: 8,
+                repl: MetaRepl::Srrip,
+                priority_replacement: false,
+            },
+            8,
+        );
+        for i in 0..4096u64 {
+            t.insert(Line(i), Line(i + 1), Pc(1), 1);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(t.lookup(Line(i & 0xFFF)));
+        });
+    });
+}
+
+fn bench_recent_filter(c: &mut Criterion) {
+    // Duplicate-heavy traffic is exactly what the issue-path dedup filter
+    // sees from Prophet chains; ~3/4 of these admits are rejections.
+    c.bench_function("recent_filter_admit_dup_heavy", |b| {
+        let mut f = RecentFilter::new(128);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(f.admit(Line((i * 7) & 0x1FF)));
+        });
+    });
+    c.bench_function("recent_filter_admit_streaming", |b| {
+        let mut f = RecentFilter::new(128);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(f.admit(Line(i)));
         });
     });
 }
@@ -162,6 +218,8 @@ fn bench_simulator(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_metadata_table,
+    bench_batched_probe,
+    bench_recent_filter,
     bench_mvb,
     bench_temporal_engine,
     bench_stride_prefetcher,

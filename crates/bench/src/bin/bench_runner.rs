@@ -3,7 +3,8 @@
 //! ```text
 //! bench_runner [--insts N] [--warmup N] [--window NAME] [--out FILE]
 //!              [--check FILE] [--tolerance PCT] [--repeat N]
-//!              [--cells shared|cold] [--warmup-mode full|fast]
+//!              [--cells warm|shared|cold] [--warmup-mode full|fast]
+//!              [--sweep-mode full|sampled]
 //!   --insts       measured instructions per cell (default 1 000 000 —
 //!                 the fig15 window)
 //!   --warmup      warm-up instructions (default 1 100 000)
@@ -16,12 +17,19 @@
 //!   --tolerance   allowed slowdown for --check, percent (default 20)
 //!   --repeat      run the window N times, record the median-geomean run
 //!                 (default 1; container clocks are ±20–30% noisy)
-//!   --cells       `shared` (default) launches the multi-pass schemes from
-//!                 one shared warm-up per workload — the recommended
-//!                 pipeline since PR 8; `cold` re-warms every pass (the
-//!                 pre-PR-8 measurement)
+//!   --cells       `warm` (default) builds one scheme-independent warm-up
+//!                 checkpoint per workload outside the cell wall clocks
+//!                 and runs all four schemes from it — the
+//!                 `run_matrix_stored` figure pipeline, recorded from
+//!                 BENCH_9 on; `shared` simulates the warm-up inside each
+//!                 cell but shares it across a scheme's internal passes
+//!                 (the PR 8 measurement); `cold` re-warms every pass
+//!                 (the pre-PR-8 measurement)
 //!   --warmup-mode `full` (default) or `fast` fast-forwarded warm-up
 //!                 (DESIGN.md §7; figures from fast runs diverge)
+//!   --sweep-mode  `full` (default) or `sampled` RPG2 distance sweep
+//!                 (DESIGN.md §7; sampled ranks candidates on a quarter
+//!                 window and validates the winner in full)
 //! ```
 //!
 //! Cells run *sequentially on one core* (unlike the figure binaries) so
@@ -30,14 +38,15 @@
 //! the same runner class.
 
 use prophet_bench::metrics::{check_regression, BenchReport};
-use prophet_bench::runner::{format_window_table, run_bench_window_median};
-use prophet_bench::{Harness, WarmupMode};
+use prophet_bench::runner::{format_window_table, run_bench_window_median, CellMode};
+use prophet_bench::{report_fast_path_activity, Harness, SweepMode, WarmupMode};
 use prophet_sim_core::TraceSource;
 use prophet_workloads::{workload_sized, CRONO_WORKLOADS};
 
 const USAGE: &str = "usage: bench_runner [--insts N] [--warmup N] [--window NAME] \
                      [--out FILE] [--check FILE] [--tolerance PCT] [--repeat N] \
-                     [--cells shared|cold] [--warmup-mode full|fast]";
+                     [--cells warm|shared|cold] [--warmup-mode full|fast] \
+                     [--sweep-mode full|sampled]";
 
 struct Args {
     insts: Option<u64>,
@@ -47,8 +56,9 @@ struct Args {
     check: Option<String>,
     tolerance: f64,
     repeat: usize,
-    shared: bool,
+    cells: CellMode,
     warmup_mode: WarmupMode,
+    sweep_mode: SweepMode,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,8 +70,9 @@ fn parse_args() -> Result<Args, String> {
         check: None,
         tolerance: 20.0,
         repeat: 1,
-        shared: true,
+        cells: CellMode::Warm,
         warmup_mode: WarmupMode::Full,
+        sweep_mode: SweepMode::Full,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -99,14 +110,9 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--repeat: must be at least 1".into());
                 }
             }
-            "--cells" => {
-                out.shared = match value("--cells")?.as_str() {
-                    "shared" => true,
-                    "cold" => false,
-                    v => return Err(format!("--cells: expected shared|cold, got {v}")),
-                };
-            }
+            "--cells" => out.cells = CellMode::parse(&value("--cells")?)?,
             "--warmup-mode" => out.warmup_mode = WarmupMode::parse(&value("--warmup-mode")?)?,
+            "--sweep-mode" => out.sweep_mode = SweepMode::parse(&value("--sweep-mode")?)?,
             f => return Err(format!("unknown argument: {f}")),
         }
     }
@@ -125,6 +131,7 @@ fn main() {
         warmup: args.warmup.unwrap_or(1_100_000),
         measure: args.insts.unwrap_or(1_000_000),
         warmup_mode: args.warmup_mode,
+        sweep_mode: args.sweep_mode,
         ..Harness::default()
     };
     let workloads: Vec<Box<dyn TraceSource + Send + Sync>> = CRONO_WORKLOADS
@@ -132,16 +139,17 @@ fn main() {
         .map(|name| workload_sized(name, h.warmup + h.measure))
         .collect();
 
-    let window = run_bench_window_median(&h, &args.window, &workloads, args.shared, args.repeat);
+    let window = run_bench_window_median(&h, &args.window, &workloads, args.cells, args.repeat);
     print!("{}", format_window_table(&window));
+    report_fast_path_activity();
 
     if let Some(path) = &args.out {
         let mut report = match std::fs::read_to_string(path) {
             Ok(text) => BenchReport::from_json(&text).unwrap_or_else(|e| {
                 eprintln!("bench: {path} is not a bench report ({e}); rewriting");
-                BenchReport::new(8)
+                BenchReport::new(9)
             }),
-            Err(_) => BenchReport::new(8),
+            Err(_) => BenchReport::new(9),
         };
         report.upsert_window(window.clone());
         if let Err(e) = std::fs::write(path, report.to_json()) {
@@ -162,9 +170,20 @@ fn main() {
         });
         match check_regression(&baseline, &window, args.tolerance) {
             Ok(c) => {
+                for s in &c.schemes {
+                    println!(
+                        "check   scheme {:<10} baseline {:.0} insts/s, current {:.0} insts/s, \
+                         ratio {:.3} -> {}",
+                        s.scheme,
+                        s.baseline_geomean,
+                        s.current_geomean,
+                        s.ratio,
+                        if s.pass { "OK" } else { "REGRESSION" }
+                    );
+                }
                 println!(
                     "check vs {path} window '{}': baseline {:.0} insts/s, \
-                     current {:.0} insts/s, ratio {:.3} (tolerance -{}%) -> {}",
+                     current {:.0} insts/s, ratio {:.3} (tolerance -{}%, per scheme) -> {}",
                     window.name,
                     c.baseline_geomean,
                     c.current_geomean,

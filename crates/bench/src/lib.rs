@@ -12,6 +12,7 @@ use prophet::{
     RunLengths, SimplifiedTp,
 };
 use prophet_prefetch::{IpcpPrefetcher, L1Prefetcher, NoL2Prefetch, StridePrefetcher};
+pub use prophet_rpg2::SweepMode;
 use prophet_rpg2::{Rpg2Pipeline, Rpg2Result};
 use prophet_sim_core::{
     simulate, Engine, EngineSnapshot, MemBackend, SimReport, TraceInst, TraceSource, WarmStart,
@@ -106,6 +107,11 @@ pub struct Harness {
     pub measure: u64,
     pub l1: L1Scheme,
     pub warmup_mode: WarmupMode,
+    /// How RPG2's distance sweep evaluates candidates (`--sweep-mode`;
+    /// `full` is the default and what every committed figure uses —
+    /// `sampled` applies to the window-replaying rpg2 pipelines, see
+    /// [`SweepMode`]).
+    pub sweep_mode: SweepMode,
 }
 
 impl Default for Harness {
@@ -116,6 +122,7 @@ impl Default for Harness {
             measure: 650_000,
             l1: L1Scheme::Stride,
             warmup_mode: WarmupMode::Full,
+            sweep_mode: SweepMode::Full,
         }
     }
 }
@@ -435,6 +442,23 @@ impl Harness {
         )
     }
 
+    /// [`Harness::baseline_warm`] over a pre-materialized window
+    /// (bit-identical to the cursor path — `WarmStart::simulate_window`).
+    pub fn baseline_warm_window(
+        &self,
+        name: &str,
+        window: &[TraceInst],
+        ckpt: &WarmupCheckpoint,
+    ) -> SimReport {
+        ckpt.warm.simulate_window(
+            &self.sys,
+            name,
+            window,
+            self.l1.build(),
+            Box::new(NoL2Prefetch),
+        )
+    }
+
     /// Triangel measurement from a shared warm-up checkpoint (table +
     /// trainer seeded from the checkpoint's passive training).
     pub fn triangel_warm(&self, w: &dyn TraceSource, ckpt: &WarmupCheckpoint) -> SimReport {
@@ -442,6 +466,19 @@ impl Harness {
         tp.seed_warmup(&ckpt.temporal);
         ckpt.warm
             .simulate(&self.sys, w, self.l1.build(), Box::new(tp), self.measure)
+    }
+
+    /// [`Harness::triangel_warm`] over a pre-materialized window.
+    pub fn triangel_warm_window(
+        &self,
+        name: &str,
+        window: &[TraceInst],
+        ckpt: &WarmupCheckpoint,
+    ) -> SimReport {
+        let mut tp = Triangel::new(TriangelConfig::default());
+        tp.seed_warmup(&ckpt.temporal);
+        ckpt.warm
+            .simulate_window(&self.sys, name, window, self.l1.build(), Box::new(tp))
     }
 
     /// Triage-degree-4 measurement from a shared warm-up checkpoint.
@@ -455,15 +492,18 @@ impl Harness {
     /// RPG2's identify → instrument → tune pipeline from a shared warm-up
     /// checkpoint (every internal pass warm-starts).
     pub fn rpg2_warm(&self, w: &dyn TraceSource, ckpt: &WarmupCheckpoint) -> Rpg2Result {
-        Rpg2Pipeline::new(self.sys.clone(), self.warmup, self.measure).run_warm(w, &ckpt.warm)
+        Rpg2Pipeline::new(self.sys.clone(), self.warmup, self.measure)
+            .with_sweep_mode(self.sweep_mode)
+            .run_warm(w, &ckpt.warm)
     }
 
     /// Materializes the measurement window of `w` once: skip `skip`
     /// instructions, then collect up to `self.measure`. Multi-pass
     /// pipelines replay the buffer instead of regenerating the trace per
     /// pass (`WarmStart::simulate_window` pins the replay bit-identical to
-    /// the cursor path).
-    fn materialize_window(&self, w: &dyn TraceSource, skip: u64) -> Vec<TraceInst> {
+    /// the cursor path). Public so the bench runner's warm cell mode can
+    /// hoist this scheme-independent work out of the cell wall clocks.
+    pub fn materialize_window(&self, w: &dyn TraceSource, skip: u64) -> Vec<TraceInst> {
         let mut cursor = w.cursor();
         let mut skipped = 0u64;
         while skipped < skip {
@@ -488,7 +528,7 @@ impl Harness {
     /// window (the paper profiles under the stride L1).
     fn prophet_profile_pass(
         &self,
-        w: &dyn TraceSource,
+        name: &str,
         ckpt: &WarmupCheckpoint,
         window: &[TraceInst],
     ) -> ProfileCounters {
@@ -496,7 +536,7 @@ impl Harness {
         tp.seed_warmup(&ckpt.temporal);
         let profile_report = ckpt.warm.simulate_window(
             &self.sys,
-            &w.name(),
+            name,
             window,
             Box::new(StridePrefetcher::default()),
             Box::new(tp),
@@ -508,7 +548,7 @@ impl Harness {
     /// over a materialized window.
     fn prophet_optimized_pass(
         &self,
-        w: &dyn TraceSource,
+        name: &str,
         ckpt: &WarmupCheckpoint,
         window: &[TraceInst],
         counters: ProfileCounters,
@@ -518,13 +558,8 @@ impl Harness {
         let hints = learned.build_hints(&AnalysisConfig::default());
         let mut prophet = Prophet::new(ProphetConfig::default(), &hints);
         prophet.seed_warmup(&ckpt.temporal);
-        ckpt.warm.simulate_window(
-            &self.sys,
-            &w.name(),
-            window,
-            self.l1.build(),
-            Box::new(prophet),
-        )
+        ckpt.warm
+            .simulate_window(&self.sys, name, window, self.l1.build(), Box::new(prophet))
     }
 
     /// Full Prophet from a shared warm-up checkpoint: the profiling pass
@@ -540,9 +575,23 @@ impl Harness {
         ckpt: &WarmupCheckpoint,
     ) -> (SimReport, ProfileCounters) {
         let window = self.materialize_window(w, ckpt.warm.warmup);
-        let counters = self.prophet_profile_pass(w, ckpt, &window);
-        let report = self.prophet_optimized_pass(w, ckpt, &window, counters.clone());
+        let counters = self.prophet_profile_pass(&w.name(), ckpt, &window);
+        let report = self.prophet_optimized_pass(&w.name(), ckpt, &window, counters.clone());
         (report, counters)
+    }
+
+    /// [`Harness::prophet_warm`] over a pre-materialized window: both
+    /// passes replay `window` directly, so a caller that already holds the
+    /// materialized trace (the bench runner's warm cells) skips the
+    /// per-cell cursor regeneration.
+    pub fn prophet_warm_window(
+        &self,
+        name: &str,
+        window: &[TraceInst],
+        ckpt: &WarmupCheckpoint,
+    ) -> SimReport {
+        let counters = self.prophet_profile_pass(name, ckpt, window);
+        self.prophet_optimized_pass(name, ckpt, window, counters)
     }
 
     /// [`Harness::prophet_warm_with_profile`], report only.
@@ -575,7 +624,7 @@ impl Harness {
                         key.workload
                     ));
                 }
-                let counters = self.prophet_profile_pass(w, ckpt, &window);
+                let counters = self.prophet_profile_pass(&w.name(), ckpt, &window);
                 let artifact = ProfileArtifact { counters, loops: 1 };
                 let bytes = encode_profile(&key, &artifact);
                 let (_, round_tripped) =
@@ -589,7 +638,7 @@ impl Harness {
                 round_tripped.counters
             }
         };
-        self.prophet_optimized_pass(w, ckpt, &window, counters)
+        self.prophet_optimized_pass(&w.name(), ckpt, &window, counters)
     }
 
     /// RPG2 over a shared (in-memory) warm-up: one warm-up feeds the
@@ -597,9 +646,9 @@ impl Harness {
     /// warm-up mode the shared warm-up itself is fast-forwarded.
     pub fn rpg2_shared(&self, w: &dyn TraceSource) -> Rpg2Result {
         match self.warmup_mode {
-            WarmupMode::Full => {
-                Rpg2Pipeline::new(self.sys.clone(), self.warmup, self.measure).run_shared(w)
-            }
+            WarmupMode::Full => Rpg2Pipeline::new(self.sys.clone(), self.warmup, self.measure)
+                .with_sweep_mode(self.sweep_mode)
+                .run_shared(w),
             WarmupMode::Fast => {
                 let ckpt = self.build_checkpoint(w);
                 self.rpg2_warm(w, &ckpt)
@@ -831,6 +880,9 @@ pub struct RunArgs {
     /// `--warmup-mode full|fast` (DESIGN.md §7; `full` is the default and
     /// what every committed figure uses).
     pub warmup_mode: WarmupMode,
+    /// `--sweep-mode full|sampled` for RPG2's distance sweep (DESIGN.md
+    /// §7; `full` is the default and what every committed figure uses).
+    pub sweep_mode: SweepMode,
     pub rest: Vec<String>,
 }
 
@@ -845,6 +897,7 @@ impl RunArgs {
             store: None,
             vertices: None,
             warmup_mode: WarmupMode::Full,
+            sweep_mode: SweepMode::Full,
             rest: Vec::new(),
         };
         let mut args = args.peekable();
@@ -864,6 +917,10 @@ impl RunArgs {
                 "--warmup-mode" => {
                     let v = args.next().ok_or("--warmup-mode needs a value")?;
                     out.warmup_mode = WarmupMode::parse(&v)?;
+                }
+                "--sweep-mode" => {
+                    let v = args.next().ok_or("--sweep-mode needs a value")?;
+                    out.sweep_mode = SweepMode::parse(&v)?;
                 }
                 f if f.starts_with("--") => return Err(format!("unknown flag: {f}")),
                 _ => out.rest.push(a),
@@ -910,6 +967,7 @@ impl RunArgs {
             warmup: self.warmup.unwrap_or(default.warmup),
             measure: self.insts.unwrap_or(default.measure),
             warmup_mode: self.warmup_mode,
+            sweep_mode: self.sweep_mode,
             ..default
         }
     }
@@ -927,6 +985,25 @@ pub fn report_store_activity(store: &ArtifactStore) {
         a.checkpoints_created,
         a.profiles_reused,
         a.profiles_created
+    );
+    report_fast_path_activity();
+}
+
+/// Prints the issue-path and sampled-sweep fast-path engagement to
+/// **stderr** (same rule as [`report_store_activity`]: stdout carries
+/// only figure tables). Cumulative process-wide counters — a zero dedup
+/// count after a measured run means the fast path never engaged, which is
+/// itself worth seeing in the logs.
+pub fn report_fast_path_activity() {
+    let issue = prophet_sim_core::issue_path_stats();
+    let sweep = prophet_rpg2::sweep_stats();
+    eprintln!(
+        "fast paths: {} duplicate prefetch(es) dedup-filtered, {} inflight drop(s) \
+         short-circuited; sampled sweeps: {} accepted, {} fell back",
+        issue.filter_suppressed,
+        issue.inflight_fast_drops,
+        sweep.sampled_accepts,
+        sweep.sampled_fallbacks
     );
 }
 

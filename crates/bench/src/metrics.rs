@@ -6,11 +6,19 @@
 //! subset reader/writer (the workspace deliberately has no serde), and
 //! the regression check the CI smoke job runs.
 //!
-//! Schema (documented in DESIGN.md):
+//! Schema (documented in DESIGN.md). Schema 2 (PR 9) adds no fields —
+//! it marks two semantic changes: the regression check is per-scheme
+//! (`check_regression` recomputes per-scheme subgroup geomeans from the
+//! cells — present in every schema-1 file too, so old baselines still
+//! check — and fails when any scheme regresses beyond tolerance, even if
+//! the overall geomean passes), and windows are recorded with warm cells
+//! (`--cells warm`: the per-workload warm-up checkpoint is built outside
+//! the cell wall clocks, so cells time the measured passes only; see
+//! `runner::CellMode`).
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "pr": 7,
 //!   "windows": [
 //!     { "name": "default", "warmup": 1100000, "measure": 1000000,
@@ -26,7 +34,9 @@
 //! multi-pass schemes (RPG2's tuning sweep, Prophet's profile+optimized
 //! runs) the wall clock covers every internal pass, so `insts_per_sec`
 //! reads as "window instructions delivered per second of cell wall time"
-//! — the cost of producing that figure cell.
+//! — the cost of producing that figure cell. `insts` is kept at the full
+//! window under warm cells too, so the trajectory stays comparable
+//! across PRs; what changed is which work sits inside the wall clock.
 
 use std::fmt::Write as _;
 
@@ -56,6 +66,33 @@ impl BenchWindow {
         let vals: Vec<f64> = self.cells.iter().map(|c| c.insts_per_sec).collect();
         prophet_sim_core::geomean(&vals)
     }
+
+    /// The distinct scheme names present, in first-appearance order.
+    pub fn schemes(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.scheme) {
+                out.push(c.scheme.clone());
+            }
+        }
+        out
+    }
+
+    /// Geometric-mean throughput across `scheme`'s cells only; `None`
+    /// when the window has no such cells.
+    pub fn scheme_geomean(&self, scheme: &str) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.scheme == scheme)
+            .map(|c| c.insts_per_sec)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(prophet_sim_core::geomean(&vals))
+        }
+    }
 }
 
 /// A whole `BENCH_*.json` file.
@@ -70,7 +107,7 @@ impl BenchReport {
     /// An empty report for this PR.
     pub fn new(pr: u64) -> Self {
         BenchReport {
-            schema: 1,
+            schema: 2,
             pr,
             windows: Vec::new(),
         }
@@ -180,6 +217,17 @@ impl BenchReport {
     }
 }
 
+/// One scheme's subgroup comparison inside a [`RegressionCheck`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeCheck {
+    pub scheme: String,
+    pub baseline_geomean: f64,
+    pub current_geomean: f64,
+    /// `current / baseline` (1.0 = parity, < 1.0 = slower).
+    pub ratio: f64,
+    pub pass: bool,
+}
+
 /// Outcome of comparing a fresh window against a committed baseline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegressionCheck {
@@ -188,14 +236,21 @@ pub struct RegressionCheck {
     /// `current / baseline` (1.0 = parity, < 1.0 = slower).
     pub ratio: f64,
     pub tolerance_pct: f64,
+    /// Per-scheme subgroup comparisons, for every scheme both windows
+    /// measured. A regression in any subgroup fails the check even when
+    /// the overall geomean passes (a Prophet slowdown must not hide
+    /// behind a baseline speedup).
+    pub schemes: Vec<SchemeCheck>,
     pub pass: bool,
 }
 
 /// Compares `current`'s geomean throughput against the same-named window
-/// of `baseline`. Fails when the fresh run is more than `tolerance_pct`
-/// percent slower. Absolute insts/sec depends on the host, so this is
-/// only meaningful between runs on the same runner class — the CI smoke
-/// job's 20% tolerance absorbs normal runner jitter.
+/// of `baseline` — overall *and* per scheme subgroup (schema 2): the
+/// check fails when the overall geomean, or any scheme's own geomean, is
+/// more than `tolerance_pct` percent slower. Absolute insts/sec depends
+/// on the host, so this is only meaningful between runs on the same
+/// runner class — the CI smoke job's 20% tolerance absorbs normal runner
+/// jitter.
 pub fn check_regression(
     baseline: &BenchReport,
     current: &BenchWindow,
@@ -209,13 +264,38 @@ pub fn check_regression(
     if baseline_geomean <= 0.0 {
         return Err("baseline geomean is not positive".into());
     }
+    let floor = 1.0 - tolerance_pct / 100.0;
     let ratio = current_geomean / baseline_geomean;
+    let mut schemes = Vec::new();
+    for scheme in current.schemes() {
+        let (Some(b), Some(c)) = (
+            base.scheme_geomean(&scheme),
+            current.scheme_geomean(&scheme),
+        ) else {
+            continue; // scheme not in the baseline (older schema/window)
+        };
+        if b <= 0.0 {
+            return Err(format!(
+                "baseline geomean for scheme '{scheme}' is not positive"
+            ));
+        }
+        let r = c / b;
+        schemes.push(SchemeCheck {
+            scheme,
+            baseline_geomean: b,
+            current_geomean: c,
+            ratio: r,
+            pass: r >= floor,
+        });
+    }
+    let pass = ratio >= floor && schemes.iter().all(|s| s.pass);
     Ok(RegressionCheck {
         baseline_geomean,
         current_geomean,
         ratio,
         tolerance_pct,
-        pass: ratio >= 1.0 - tolerance_pct / 100.0,
+        schemes,
+        pass,
     })
 }
 
@@ -518,6 +598,57 @@ mod tests {
         let bad = check_regression(&base, &cur, 20.0).unwrap();
         assert!(!bad.pass);
         assert!(bad.ratio < 0.6);
+    }
+
+    #[test]
+    fn scheme_regression_cannot_hide_in_overall_geomean() {
+        // Prophet halves while baseline more than doubles: the overall
+        // geomean *improves*, but the per-scheme guard must still fail.
+        let base = sample();
+        let mut cur = base.windows[0].clone();
+        for c in &mut cur.cells {
+            match c.scheme.as_str() {
+                "baseline" => c.insts_per_sec *= 3.0,
+                _ => c.insts_per_sec *= 0.5,
+            }
+        }
+        let check = check_regression(&base, &cur, 20.0).unwrap();
+        assert!(check.ratio > 1.0, "overall geomean improved");
+        assert!(
+            !check.pass,
+            "prophet subgroup regression must fail the check"
+        );
+        let pro = check
+            .schemes
+            .iter()
+            .find(|s| s.scheme == "prophet")
+            .unwrap();
+        assert!(!pro.pass);
+        assert!((pro.ratio - 0.5).abs() < 1e-9);
+        let bl = check
+            .schemes
+            .iter()
+            .find(|s| s.scheme == "baseline")
+            .unwrap();
+        assert!(bl.pass);
+    }
+
+    #[test]
+    fn schemes_absent_from_baseline_are_skipped() {
+        let base = sample();
+        let mut cur = base.windows[0].clone();
+        cur.cells.push(BenchCell {
+            scheme: "newscheme".into(),
+            workload: "bfs".into(),
+            insts: 50_000,
+            wall_secs: 0.01,
+            insts_per_sec: 1.0, // would fail any tolerance if compared
+        });
+        let check = check_regression(&base, &cur, 50.0).unwrap();
+        assert!(
+            check.schemes.iter().all(|s| s.scheme != "newscheme"),
+            "schemes without a baseline subgroup must not be compared"
+        );
     }
 
     #[test]

@@ -73,6 +73,30 @@ fn fig12_coverage_accuracy_short_window_matches_snapshot() {
 }
 
 #[test]
+fn fig17_l1_prefetcher_short_window_matches_snapshot() {
+    run_golden(
+        env!("CARGO_BIN_EXE_fig17_l1_prefetcher"),
+        &["--insts", "120000", "--warmup", "60000", "--jobs", "2"],
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/fig17_l1_prefetcher.txt"
+        ),
+    );
+}
+
+#[test]
+fn fig18_bandwidth_short_window_matches_snapshot() {
+    run_golden(
+        env!("CARGO_BIN_EXE_fig18_bandwidth"),
+        &["--insts", "120000", "--warmup", "60000", "--jobs", "2"],
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/fig18_bandwidth.txt"
+        ),
+    );
+}
+
+#[test]
 fn fig11_traffic_short_window_matches_snapshot() {
     run_golden(
         env!("CARGO_BIN_EXE_fig11_traffic"),

@@ -19,7 +19,11 @@
 
 use crate::storage::MVB_ENTRY_BITS;
 use prophet_prefetch::SmallList;
-use prophet_sim_mem::Line;
+use prophet_sim_mem::{find_first_u64, Line};
+
+/// Key-mirror sentinel for an empty MVB slot. Real keys are
+/// `(tag << set_bits) | set` with a 16-bit tag, far below `u64::MAX`.
+const NO_KEY: u64 = u64::MAX;
 
 /// Inline target capacity per entry. Figure 16c evaluates 1/2/4
 /// candidates, so the hot path never spills to the heap; larger
@@ -69,6 +73,10 @@ pub struct MultiPathVictimBuffer {
     cfg: MvbConfig,
     sets: usize,
     slots: Vec<Option<MvbEntry>>,
+    /// Packed key mirror of `slots` (`NO_KEY` for empty), so the per-lookup
+    /// set probe is one batched scan over contiguous words instead of a
+    /// walk across the full entries.
+    keys: Vec<u64>,
     clock: u64,
     inserted: u64,
     hits: u64,
@@ -88,6 +96,7 @@ impl MultiPathVictimBuffer {
         assert!(sets.is_power_of_two(), "MVB sets must be a power of two");
         MultiPathVictimBuffer {
             slots: vec![None; cfg.entries],
+            keys: vec![NO_KEY; cfg.entries],
             sets,
             clock: 0,
             inserted: 0,
@@ -130,13 +139,11 @@ impl MultiPathVictimBuffer {
         self.clock += 1;
         let clock = self.clock;
         let range = self.set_range(key);
+        let base = range.start;
 
         // Existing entry for the key: add/refresh the target.
-        if let Some(e) = self.slots[range.clone()]
-            .iter_mut()
-            .flatten()
-            .find(|e| e.key == key)
-        {
+        if let Some(i) = find_first_u64(&self.keys[range.clone()], key) {
+            let e = self.slots[base + i].as_mut().expect("mirrored key is live");
             e.stamp = clock;
             if let Some(t) = e.targets.iter_mut().find(|(l, _)| *l == target) {
                 t.1 = (t.1 + 1).min(3);
@@ -163,19 +170,20 @@ impl MultiPathVictimBuffer {
             stamp: clock,
         };
         // Empty slot?
-        if let Some(slot) = self.slots[range.clone()].iter_mut().find(|s| s.is_none()) {
-            *slot = Some(fresh);
+        if let Some(i) = find_first_u64(&self.keys[range.clone()], NO_KEY) {
+            self.slots[base + i] = Some(fresh);
+            self.keys[base + i] = key;
             return;
         }
         // Prophet replacement: lowest priority (max counter), LRU tiebreak.
-        let victim = self.slots[range]
-            .iter_mut()
-            .min_by_key(|s| {
-                let e = s.as_ref().expect("set is full");
+        let victim = range
+            .min_by_key(|&i| {
+                let e = self.slots[i].as_ref().expect("set is full");
                 (e.priority(), e.stamp)
             })
             .expect("ways > 0");
-        *victim = Some(fresh);
+        self.slots[victim] = Some(fresh);
+        self.keys[victim] = key;
     }
 
     /// Looks up extra Markov targets for `key`, excluding `table_target`
@@ -187,13 +195,12 @@ impl MultiPathVictimBuffer {
         table_target: Option<Line>,
     ) -> SmallList<Line, MVB_INLINE_CANDIDATES> {
         let range = self.set_range(key);
-        let Some(e) = self.slots[range]
-            .iter_mut()
-            .flatten()
-            .find(|e| e.key == key)
-        else {
+        let base = range.start;
+        let Some(i) = find_first_u64(&self.keys[range], key) else {
             return SmallList::new();
         };
+        let e = self.slots[base + i].as_mut().expect("mirrored key is live");
+        debug_assert_eq!(e.key, key, "MVB key mirror out of sync");
         let mut out = SmallList::new();
         for (line, counter) in e.targets.as_mut_slice() {
             if Some(*line) != table_target {

@@ -1,0 +1,113 @@
+//! Reference-model equivalence suite for [`RecentFilter`] (in the style
+//! of the sim-mem `flat_equivalence` suite).
+//!
+//! The filter's indexed implementation (FlatMap of line → admission
+//! sequence, with periodic epoch-clear compaction) must agree with the
+//! original ring-scan semantics on *every* call: `admit` returns `true`
+//! iff the line was not among the last `capacity` admissions. The
+//! reference model below is the pre-optimization implementation verbatim;
+//! the tests drive both with identical operation streams — high duplicate
+//! rates, skewed line distributions, interleaved clears — and compare
+//! return values step for step.
+
+use prophet_prefetch::RecentFilter;
+use prophet_sim_mem::Line;
+
+/// The original ring-scan filter, kept as the behavioral reference.
+struct RingFilter {
+    ring: Vec<Line>,
+    next: usize,
+    filled: usize,
+}
+
+impl RingFilter {
+    fn new(capacity: usize) -> Self {
+        RingFilter {
+            ring: vec![Line(u64::MAX); capacity],
+            next: 0,
+            filled: 0,
+        }
+    }
+
+    fn admit(&mut self, line: Line) -> bool {
+        if self.ring[..self.filled].contains(&line) {
+            return false;
+        }
+        self.ring[self.next] = line;
+        self.next = (self.next + 1) % self.ring.len();
+        self.filled = (self.filled + 1).min(self.ring.len());
+        true
+    }
+
+    fn clear(&mut self) {
+        self.next = 0;
+        self.filled = 0;
+    }
+}
+
+/// splitmix64 — deterministic stream, no external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Drives both filters with `steps` admissions drawn from `universe`
+/// distinct lines (small universe = high duplicate rate), clearing both
+/// every `clear_every` steps when nonzero.
+fn drive(capacity: usize, universe: u64, steps: usize, clear_every: usize, seed: u64) {
+    let mut rng = Rng(seed);
+    let mut fast = RecentFilter::new(capacity);
+    let mut reference = RingFilter::new(capacity);
+    for step in 0..steps {
+        if clear_every > 0 && step % clear_every == clear_every - 1 {
+            fast.clear();
+            reference.clear();
+        }
+        let line = Line(rng.next() % universe);
+        assert_eq!(
+            fast.admit(line),
+            reference.admit(line),
+            "divergence at step {step} (cap {capacity}, universe {universe}, \
+             line {line:?})"
+        );
+    }
+}
+
+#[test]
+fn dense_duplicates_match_reference() {
+    // Universe smaller than the window: almost every admission is a
+    // duplicate, so the window-membership test is exercised constantly.
+    drive(64, 16, 50_000, 0, 1);
+    drive(64, 64, 50_000, 0, 2);
+}
+
+#[test]
+fn sparse_stream_matches_reference() {
+    // Universe far larger than the window: admissions dominate, driving
+    // map growth and many compaction cycles.
+    drive(64, 1 << 20, 200_000, 0, 3);
+}
+
+#[test]
+fn mixed_locality_matches_reference() {
+    // The prefetch-shaped case: a hot set about the window size plus a
+    // cold tail, at several capacities including non-powers of two.
+    for cap in [1usize, 2, 3, 7, 64, 100] {
+        drive(cap, (cap as u64) * 2 + 1, 30_000, 0, cap as u64);
+    }
+}
+
+#[test]
+fn interleaved_clears_match_reference() {
+    // Clears at awkward phases relative to the ring wrap must reset both
+    // models identically (the measurement boundary does this).
+    drive(64, 96, 50_000, 97, 7);
+    drive(8, 12, 20_000, 5, 8);
+}

@@ -39,6 +39,8 @@ pub mod trace;
 
 pub use engine::{Engine, EngineSnapshot, EngineStats, MemBackend};
 pub use report::{aggregate_weighted, geomean, SimReport};
-pub use sim::{simulate, MemSystem, Simulator, WarmStart, MAX_META_WAYS};
+pub use sim::{
+    issue_path_stats, simulate, IssuePathStats, MemSystem, Simulator, WarmStart, MAX_META_WAYS,
+};
 pub use simpoint::{even_checkpoints, run_checkpoints, Checkpoint};
 pub use trace::{CursorIter, MemOp, TraceCursor, TraceInst, TraceSource, VecTrace};

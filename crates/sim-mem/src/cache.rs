@@ -137,6 +137,10 @@ pub struct Cache {
     /// Data occupies ways `[way_lo, ways)`; `[0, way_lo)` is reserved for the
     /// (externally modeled) metadata table.
     way_lo: usize,
+    /// Per-set count of valid data-partition lines, so `fill` can skip the
+    /// invalid-way scan once a set is full (the steady state). Derived
+    /// state: recomputed on restore and partition changes.
+    filled: Vec<u32>,
     stats: CacheStats,
 }
 
@@ -152,6 +156,7 @@ impl Cache {
             sets,
             ways,
             way_lo: 0,
+            filled: vec![0; sets],
             stats: CacheStats::default(),
             cfg,
         }
@@ -224,7 +229,20 @@ impl Cache {
             }
         }
         self.way_lo = k;
+        self.recount_filled();
         evicted
+    }
+
+    /// Recomputes the per-set fill counts from `lines` (after a restore or
+    /// a partition change, where slots change wholesale).
+    fn recount_filled(&mut self) {
+        for set in 0..self.sets {
+            let base = set * self.ways;
+            self.filled[set] = self.lines[base + self.way_lo..base + self.ways]
+                .iter()
+                .filter(|l| l.is_some())
+                .count() as u32;
+        }
     }
 
     /// Number of ways currently reserved for metadata.
@@ -242,17 +260,13 @@ impl Cache {
         let set = self.set_index(line);
         let base = set * self.ways;
         let tags = &self.tags[base + self.way_lo..base + self.ways];
-        for (i, &t) in tags.iter().enumerate() {
-            if t == line.0 {
-                let way = self.way_lo + i;
-                debug_assert!(
-                    matches!(self.lines[base + way], Some(s) if s.line == line),
-                    "tag mirror out of sync at set {set} way {way}"
-                );
-                return Some(way);
-            }
-        }
-        None
+        let i = crate::flat::find_first_u64(tags, line.0)?;
+        let way = self.way_lo + i;
+        debug_assert!(
+            matches!(self.lines[base + way], Some(s) if s.line == line),
+            "tag mirror out of sync at set {set} way {way}"
+        );
+        Some(way)
     }
 
     /// Prefetch-side lookup: updates replacement state on a hit but does not
@@ -339,16 +353,26 @@ impl Cache {
         }
         let set = self.set_index(state.line);
         let base = set * self.ways;
-        // Prefer an invalid way.
-        let way = match (self.way_lo..self.ways).find(|&w| self.tags[base + w] == NO_TAG) {
-            Some(w) => w,
-            None => self.repl.victim(set, self.way_lo, self.ways),
+        // Prefer an invalid way; the per-set fill count skips the scan
+        // entirely once the set is full (the steady state).
+        let data_ways = (self.ways - self.way_lo) as u32;
+        let way = if self.filled[set] < data_ways {
+            let data_tags = &self.tags[base + self.way_lo..base + self.ways];
+            match crate::flat::find_first_u64(data_tags, NO_TAG) {
+                Some(i) => self.way_lo + i,
+                None => self.repl.victim(set, self.way_lo, self.ways),
+            }
+        } else {
+            self.repl.victim(set, self.way_lo, self.ways)
         };
         let slot = base + way;
         let victim = self.lines[slot].take().map(|old| {
             self.note_eviction(&old);
             Evicted { state: old }
         });
+        if victim.is_none() {
+            self.filled[set] += 1;
+        }
         self.lines[slot] = Some(state);
         self.tags[slot] = state.line.0;
         self.repl.on_fill(set, way);
@@ -362,6 +386,7 @@ impl Cache {
         let set = self.set_index(line);
         let slot = self.slot(set, way);
         self.tags[slot] = NO_TAG;
+        self.filled[set] -= 1;
         self.lines[slot].take()
     }
 
@@ -446,6 +471,7 @@ impl Cache {
             self.repl.restore_set(set, r);
         }
         self.way_lo = snap.way_lo;
+        self.recount_filled();
         self.stats = CacheStats::default();
     }
 }

@@ -43,7 +43,7 @@ pub use bloom::CountingBloom;
 pub use cache::{Cache, CacheConfig, CacheSnapshot, CacheStats, LineState};
 pub use config::{CoreConfig, SystemConfig};
 pub use dram::{Dram, DramConfig, DramSnapshot, DramStats};
-pub use flat::{FlatMap, InflightTable};
+pub use flat::{find_first_u16, find_first_u64, FlatMap, InflightTable};
 pub use hawkeye::{Hawkeye, OptGen};
 pub use hierarchy::{
     DemandOutcome, Hierarchy, HierarchySnapshot, L2Event, MemStats, PcMemStats, PcStatsMap,

@@ -479,17 +479,7 @@ impl FlatRepl {
                     .expect("non-empty way range")
             }
             ReplKind::Plru => self.plru_victim(set, lo, hi),
-            ReplKind::Srrip => {
-                let base = self.base(set);
-                loop {
-                    if let Some(w) = (lo..hi).find(|&w| self.rrpv[base + w] == SRRIP_MAX) {
-                        return w;
-                    }
-                    for w in lo..hi {
-                        self.rrpv[base + w] = (self.rrpv[base + w] + 1).min(SRRIP_MAX);
-                    }
-                }
-            }
+            ReplKind::Srrip => self.srrip_aged_victim(set, lo, hi),
             ReplKind::Hawkeye => {
                 let base = self.base(set);
                 if let Some(w) =
@@ -497,14 +487,7 @@ impl FlatRepl {
                 {
                     return w;
                 }
-                loop {
-                    if let Some(w) = (lo..hi).find(|&w| self.rrpv[base + w] == SRRIP_MAX) {
-                        return w;
-                    }
-                    for w in lo..hi {
-                        self.rrpv[base + w] = (self.rrpv[base + w] + 1).min(SRRIP_MAX);
-                    }
-                }
+                self.srrip_aged_victim(set, lo, hi)
             }
             ReplKind::Random => {
                 let s = &mut self.seed[set];
@@ -514,6 +497,33 @@ impl FlatRepl {
                 lo + (*s as usize) % (hi - lo)
             }
         }
+    }
+
+    /// SRRIP aging collapsed to two sweeps. The textbook loop repeats
+    /// (scan for `SRRIP_MAX`, increment every way) until a way reaches the
+    /// maximum; after `SRRIP_MAX - max_rrpv` rounds the first way holding
+    /// the maximum RRPV is the victim and every counter has gained exactly
+    /// that many rounds (none saturate, since all values are ≤ the max).
+    /// Computing the max in one sweep and applying the bump in a second
+    /// produces bit-identical state and the identical victim index.
+    fn srrip_aged_victim(&mut self, set: usize, lo: usize, hi: usize) -> usize {
+        let base = self.base(set);
+        let mut max_w = lo;
+        let mut max_v = self.rrpv[base + lo];
+        for w in (lo + 1)..hi {
+            let v = self.rrpv[base + w];
+            if v > max_v {
+                max_v = v;
+                max_w = w;
+            }
+        }
+        let bump = SRRIP_MAX - max_v;
+        if bump > 0 {
+            for w in lo..hi {
+                self.rrpv[base + w] += bump;
+            }
+        }
+        max_w
     }
 
     #[inline]

@@ -291,7 +291,7 @@ impl MetadataTable {
     #[inline]
     fn find_slot(&self, range: std::ops::Range<usize>, tag: u16) -> Option<usize> {
         let base = range.start;
-        let i = self.tags[range].iter().position(|&t| t == tag)?;
+        let i = prophet_sim_mem::find_first_u16(&self.tags[range], tag)?;
         debug_assert!(
             self.slots[base + i].valid && self.slots[base + i].tag == tag,
             "metadata tag mirror out of sync at index {}",
@@ -376,10 +376,7 @@ impl MetadataTable {
 
         // Empty slot?
         let base = range.start;
-        if let Some(i) = self.tags[range.clone()]
-            .iter()
-            .position(|&t| t == NO_META_TAG)
-        {
+        if let Some(i) = prophet_sim_mem::find_first_u16(&self.tags[range.clone()], NO_META_TAG) {
             self.slots[base + i] = fresh;
             self.tags[base + i] = tag;
             return InsertOutcome::Allocated;
