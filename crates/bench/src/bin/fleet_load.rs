@@ -1,0 +1,355 @@
+//! Fleet load generator: the `BENCH_10.json` service-throughput window.
+//!
+//! ```text
+//! fleet_load [--workloads M] [--clients N] [--profiles K] [--fetches R]
+//!            [--threads T] [--window NAME] [--out FILE]
+//!            [--check FILE] [--tolerance PCT]
+//!   --workloads  distinct workload keys (default 4)
+//!   --clients    concurrent client connections (default 8)
+//!   --profiles   distinct synthetic profiles per workload (default 6);
+//!                every client submits all of them, so duplicates race
+//!                fresh submissions exactly as a real fleet's repeated
+//!                profiling runs would
+//!   --fetches    hint fetches per client, round-robin over the
+//!                workloads (default 50)
+//!   --threads    daemon worker threads (default clients + 4; the pool
+//!                bounds concurrent connections, so it must cover the
+//!                client fleet)
+//!   --window     window label in the report (default "fleet"; CI smoke
+//!                uses "fleet-smoke")
+//!   --out        merge the window into FILE (bench_runner conventions)
+//!   --check      compare against the same-named window in FILE
+//!   --tolerance  allowed slowdown for --check, percent (default 30)
+//! ```
+//!
+//! The daemon runs in-process on an ephemeral port over a temp store, so
+//! the numbers measure the service stack (wire protocol, locking, merge,
+//! analysis), not simulator throughput. Cells reuse the bench-report
+//! shape: `submit`/`fetch` cells record operations/sec in
+//! `insts_per_sec`; `fetch_p50`/`p90`/`p99` cells record the latency in
+//! `wall_secs` and its reciprocal in `insts_per_sec` (so "bigger is
+//! better" holds for every cell and the regression geomean stays
+//! meaningful).
+//!
+//! Before reporting, every workload's fetched hint bytes are compared
+//! against the serial canonical reference merge of its submissions —
+//! a mismatch exits nonzero, so a throughput number can never be
+//! recorded off an incorrect merge.
+
+use prophet::{analyze, AnalysisConfig, PcProfile, ProfileCounters};
+use prophet_bench::metrics::{check_regression, BenchCell, BenchReport, BenchWindow};
+use prophet_service::{merge_profiles, ServeConfig, Server, ServiceClient, ServiceState};
+use prophet_store::{encode_hints, StoreKey};
+use std::time::Instant;
+
+const USAGE: &str = "usage: fleet_load [--workloads M] [--clients N] [--profiles K] \
+                     [--fetches R] [--threads T] [--window NAME] [--out FILE] \
+                     [--check FILE] [--tolerance PCT]";
+
+struct Args {
+    workloads: usize,
+    clients: usize,
+    profiles: usize,
+    fetches: usize,
+    threads: Option<usize>,
+    window: String,
+    out: Option<String>,
+    check: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args {
+        workloads: 4,
+        clients: 8,
+        profiles: 6,
+        fetches: 50,
+        threads: None,
+        window: "fleet".into(),
+        out: None,
+        check: None,
+        tolerance: 30.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        let num = |name: &str, v: String| -> Result<usize, String> {
+            v.parse().map_err(|_| format!("{name}: not a number: {v}"))
+        };
+        match a.as_str() {
+            "--workloads" => out.workloads = num("--workloads", value("--workloads")?)?,
+            "--clients" => out.clients = num("--clients", value("--clients")?)?,
+            "--profiles" => out.profiles = num("--profiles", value("--profiles")?)?,
+            "--fetches" => out.fetches = num("--fetches", value("--fetches")?)?,
+            "--threads" => out.threads = Some(num("--threads", value("--threads")?)?),
+            "--window" => out.window = value("--window")?,
+            "--out" => out.out = Some(value("--out")?),
+            "--check" => out.check = Some(value("--check")?),
+            "--tolerance" => {
+                let v = value("--tolerance")?;
+                out.tolerance = v
+                    .parse()
+                    .map_err(|_| format!("--tolerance: not a number: {v}"))?;
+            }
+            f => return Err(format!("unknown argument: {f}")),
+        }
+    }
+    if out.workloads == 0 || out.clients == 0 || out.profiles == 0 {
+        return Err("--workloads, --clients and --profiles must be at least 1".into());
+    }
+    Ok(out)
+}
+
+fn key(wi: usize) -> StoreKey {
+    StoreKey {
+        workload: format!("fleet-w{wi}"),
+        config: 0xF1EE7,
+        warmup: 10_000,
+        measure: 20_000,
+    }
+}
+
+/// Deterministic synthetic counters: distinct per (workload, seed), with
+/// overlapping PCs across seeds so the Eq. 4 merge order sensitivity is
+/// exercised, not dodged.
+fn profile(wi: usize, seed: usize) -> ProfileCounters {
+    let (wi, seed) = (wi as u64, seed as u64);
+    let mut c = ProfileCounters::default();
+    for i in 0..8u64 {
+        c.per_pc.insert(
+            0x1000 * (wi + 1) + (seed + i) % 12,
+            PcProfile {
+                accuracy: (((wi * 5 + seed * 7 + i * 3) % 13) as f64) / 12.0,
+                issued: 100.0 + ((seed * 31 + i * 11) % 400) as f64,
+                l2_misses: 40.0 + ((wi * 17 + i * 7) % 100) as f64,
+            },
+        );
+    }
+    c.insertions = 2_000.0 + (wi * 211 + seed * 97) as f64;
+    c.replacements = (wi * 89 + seed * 53) as f64 % 700.0;
+    c
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn rate_cell(scheme: &str, ops: u64, wall: f64) -> BenchCell {
+    BenchCell {
+        scheme: scheme.into(),
+        workload: "fleet".into(),
+        insts: ops,
+        wall_secs: wall,
+        insts_per_sec: ops as f64 / wall.max(1e-9),
+    }
+}
+
+fn latency_cell(scheme: &str, secs: f64) -> BenchCell {
+    BenchCell {
+        scheme: scheme.into(),
+        workload: "fleet".into(),
+        insts: 1,
+        wall_secs: secs,
+        insts_per_sec: 1.0 / secs.max(1e-9),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let dir = std::env::temp_dir().join(format!("prophet-fleet-load-{}", std::process::id()));
+    let state = ServiceState::open(&dir).unwrap_or_else(|e| {
+        eprintln!("fleet_load: cannot open store at {}: {e}", dir.display());
+        std::process::exit(2);
+    });
+    let server = Server::bind(
+        ServeConfig {
+            threads: args.threads.unwrap_or(args.clients + 4),
+            ..ServeConfig::default()
+        },
+        state,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("fleet_load: cannot bind daemon: {e}");
+        std::process::exit(2);
+    });
+    let handle = server.handle().unwrap();
+    let addr = handle.addr();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    let keys: Vec<StoreKey> = (0..args.workloads).map(key).collect();
+    let sets: Vec<Vec<ProfileCounters>> = (0..args.workloads)
+        .map(|wi| (0..args.profiles).map(|s| profile(wi, s)).collect())
+        .collect();
+
+    // Submission phase: every client submits every profile of every
+    // workload, so fresh content and racing duplicates interleave.
+    let submit_started = Instant::now();
+    std::thread::scope(|scope| {
+        for ci in 0..args.clients {
+            let keys = &keys;
+            let sets = &sets;
+            scope.spawn(move || {
+                let mut client = ServiceClient::connect(addr).expect("connect");
+                for (wi, k) in keys.iter().enumerate() {
+                    for si in 0..sets[wi].len() {
+                        // Stagger the order per client so interleavings
+                        // differ across the fleet.
+                        let p = &sets[wi][(si + ci) % sets[wi].len()];
+                        client.submit(k, p).expect("submit");
+                    }
+                }
+            });
+        }
+    });
+    let submit_wall = submit_started.elapsed().as_secs_f64();
+    let submits = (args.clients * args.workloads * args.profiles) as u64;
+
+    // Fetch phase: every client hammers every workload's hint endpoint,
+    // recording per-request latency client-side.
+    let fetch_started = Instant::now();
+    let mut latencies: Vec<f64> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|ci| {
+                let keys = &keys;
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).expect("connect");
+                    let mut lats = Vec::with_capacity(args.fetches);
+                    for r in 0..args.fetches {
+                        let k = &keys[(r + ci) % keys.len()];
+                        let t = Instant::now();
+                        client.fetch_hints_bytes(k).expect("fetch");
+                        lats.push(t.elapsed().as_secs_f64());
+                    }
+                    lats
+                })
+            })
+            .collect();
+        for h in handles {
+            latencies.extend(h.join().expect("fetch client"));
+        }
+    });
+    let fetch_wall = fetch_started.elapsed().as_secs_f64();
+    let fetches = latencies.len() as u64;
+
+    // Correctness gate: served bytes must equal the serial canonical
+    // reference for every workload before any number is reported.
+    let mut verify = ServiceClient::connect(addr).expect("connect");
+    for (wi, k) in keys.iter().enumerate() {
+        let served = verify.fetch_hints_bytes(k).expect("fetch");
+        let merged = merge_profiles(&sets[wi]).expect("non-empty");
+        let reference = encode_hints(k, &analyze(&merged.counters, &AnalysisConfig::default()));
+        if served != reference {
+            eprintln!(
+                "fleet_load: daemon-served hints for {} diverged from the \
+                 serial reference merge — refusing to record throughput",
+                k.workload
+            );
+            std::process::exit(1);
+        }
+    }
+    drop(verify);
+
+    handle.shutdown();
+    join.join().expect("daemon");
+    std::fs::remove_dir_all(&dir).ok();
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let (p50, p90, p99) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 90.0),
+        percentile(&latencies, 99.0),
+    );
+    let window = BenchWindow {
+        name: args.window.clone(),
+        warmup: 0,
+        measure: 0,
+        cells: vec![
+            rate_cell("submit", submits, submit_wall),
+            rate_cell("fetch", fetches, fetch_wall),
+            latency_cell("fetch_p50", p50),
+            latency_cell("fetch_p90", p90),
+            latency_cell("fetch_p99", p99),
+        ],
+    };
+
+    println!(
+        "fleet_load: {} workload(s) x {} client(s) x {} profile(s), {} fetch(es)/client",
+        args.workloads, args.clients, args.profiles, args.fetches
+    );
+    println!(
+        "submit  {:>8} ops in {:>7.3}s -> {:>10.0} ops/sec",
+        submits,
+        submit_wall,
+        submits as f64 / submit_wall.max(1e-9)
+    );
+    println!(
+        "fetch   {:>8} ops in {:>7.3}s -> {:>10.0} ops/sec",
+        fetches,
+        fetch_wall,
+        fetches as f64 / fetch_wall.max(1e-9)
+    );
+    println!(
+        "latency p50 {:.1}us  p90 {:.1}us  p99 {:.1}us",
+        p50 * 1e6,
+        p90 * 1e6,
+        p99 * 1e6
+    );
+    println!("hints verified against the serial reference for every workload");
+
+    if let Some(path) = &args.out {
+        let mut report = match std::fs::read_to_string(path) {
+            Ok(text) => BenchReport::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("fleet_load: {path} is not a bench report ({e}); rewriting");
+                BenchReport::new(10)
+            }),
+            Err(_) => BenchReport::new(10),
+        };
+        report.upsert_window(window.clone());
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("fleet_load: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("fleet_load: wrote window '{}' to {path}", window.name);
+    }
+
+    if let Some(path) = &args.check {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("fleet_load: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = BenchReport::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("fleet_load: cannot parse baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        match check_regression(&baseline, &window, args.tolerance) {
+            Ok(c) => {
+                println!(
+                    "check vs {path} window '{}': ratio {:.3} (tolerance -{}%) -> {}",
+                    window.name,
+                    c.ratio,
+                    args.tolerance,
+                    if c.pass { "OK" } else { "REGRESSION" }
+                );
+                if !c.pass {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("fleet_load: check failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -19,6 +19,22 @@
 //! prophet_cli run <workload> --hints FILE [--insts N] [--warmup N]
 //!   Online phase: simulate the workload under full Prophet driven by a
 //!   previously exported hint file, against the no-temporal baseline.
+//!
+//! prophet_cli serve --store DIR [--addr HOST:PORT] [--service-threads N]
+//!   Fleet mode: run the hint-serving daemon over the store. Concurrent
+//!   profile submissions merge under the canonical content order, so the
+//!   served hints are byte-identical to the offline profile→optimize
+//!   pipeline for the same submissions, in any arrival order.
+//!
+//! prophet_cli submit <workload> --addr HOST:PORT [--insts N] [--warmup N]
+//!   Profile the workload locally and submit the counters to a daemon.
+//!
+//! prophet_cli fetch <workload> --addr HOST:PORT [--hints-out FILE]
+//!   Fetch the daemon's analyzed hint set (raw bytes are the hint-file
+//!   format `run --hints` reads).
+//!
+//! prophet_cli metrics --addr HOST:PORT
+//!   Dump the daemon's plaintext metrics.
 //! ```
 //!
 //! Windows default to 650 000 measured / 200 000 warm-up instructions;
@@ -28,6 +44,7 @@ use prophet::{analyze, AnalysisConfig, LearnedProfile, Prophet, ProphetConfig};
 use prophet_bench::{report_store_activity, Harness, RunArgs};
 use prophet_prefetch::NoL2Prefetch;
 use prophet_rpg2::Rpg2Result;
+use prophet_service::{ServeConfig, Server, ServiceClient, ServiceState};
 use prophet_sim_core::{simulate, SimReport};
 use prophet_store::{
     read_hints_file, write_hints_file, ArtifactStore, ProfileArtifact, StoreError,
@@ -38,7 +55,11 @@ const USAGE: &str = "usage: prophet_cli <workload> [baseline|triage4|triangel|rp
      [--insts N] [--warmup N] [--jobs N] [--store DIR]
        prophet_cli profile  <workload> --store DIR [--insts N] [--warmup N] [--hints-out FILE]
        prophet_cli optimize <workload> --store DIR [--insts N] [--warmup N] [--hints-out FILE]
-       prophet_cli run      <workload> --hints FILE [--insts N] [--warmup N]";
+       prophet_cli run      <workload> --hints FILE [--insts N] [--warmup N]
+       prophet_cli serve    --store DIR [--addr HOST:PORT] [--service-threads N]
+       prophet_cli submit   <workload> --addr HOST:PORT [--insts N] [--warmup N]
+       prophet_cli fetch    <workload> --addr HOST:PORT [--hints-out FILE]
+       prophet_cli metrics  --addr HOST:PORT";
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}\n{USAGE}");
@@ -170,6 +191,88 @@ fn cmd_optimize(args: &RunArgs, name: &str, hints_out: Option<String>) {
     println!("hints written to {}", path.display());
 }
 
+/// Fleet mode: run the hint-serving daemon over the store directory.
+fn cmd_serve(args: &RunArgs, addr: Option<String>, threads: Option<String>) {
+    let Some(dir) = &args.store else {
+        die("serve needs --store DIR");
+    };
+    let state = ServiceState::open(dir)
+        .unwrap_or_else(|e| die(&format!("cannot open service store at {dir}: {e}")));
+    let cfg = ServeConfig {
+        addr: addr.unwrap_or_else(|| "127.0.0.1:7071".into()),
+        threads: threads
+            .map(|t| {
+                t.parse()
+                    .unwrap_or_else(|_| die(&format!("--service-threads: not a number: {t}")))
+            })
+            .unwrap_or(8),
+        ..ServeConfig::default()
+    };
+    let server =
+        Server::bind(cfg, state).unwrap_or_else(|e| die(&format!("cannot bind daemon: {e}")));
+    let local = server
+        .local_addr()
+        .unwrap_or_else(|e| die(&format!("cannot resolve bound address: {e}")));
+    println!("prophet_service listening on {local} over {dir}");
+    if let Err(e) = server.run() {
+        die(&format!("daemon failed: {e}"));
+    }
+}
+
+fn connect_daemon(addr: &str) -> ServiceClient {
+    ServiceClient::connect(addr)
+        .unwrap_or_else(|e| die(&format!("cannot connect to daemon at {addr}: {e}")))
+}
+
+/// Profile `name` locally and submit the counters to a daemon.
+fn cmd_submit(args: &RunArgs, name: &str, addr: &str) {
+    let h = args.harness(Harness::default());
+    let w = workload_sized(name, h.warmup + h.measure);
+    let key = h.profile_key(w.as_ref());
+    let (counters, report) = prophet::profile_workload(&h.sys, w.as_ref(), h.warmup, h.measure);
+    let mut client = connect_daemon(addr);
+    let ack = client
+        .submit(&key, &counters)
+        .unwrap_or_else(|e| die(&format!("submit failed: {e}")));
+    println!("{report}");
+    println!(
+        "submitted {name}: generation {} ({} submission(s), {})",
+        ack.generation,
+        ack.submissions,
+        if ack.fresh {
+            "fresh content"
+        } else {
+            "duplicate content, deduplicated"
+        }
+    );
+}
+
+/// Fetch the daemon's analyzed hints for `name` at this window.
+fn cmd_fetch(args: &RunArgs, name: &str, addr: &str, hints_out: Option<String>) {
+    let h = args.harness(Harness::default());
+    let w = workload_sized(name, h.warmup + h.measure);
+    let key = h.profile_key(w.as_ref());
+    let mut client = connect_daemon(addr);
+    let bytes = client
+        .fetch_hints_bytes(&key)
+        .unwrap_or_else(|e| die(&format!("fetch failed: {e}")));
+    let (_, hints) = prophet_store::decode_hints(&bytes)
+        .unwrap_or_else(|e| die(&format!("daemon returned undecodable hints: {e}")));
+    println!(
+        "fetched {name}: {} hinted PCs ({} hint instructions), csr enabled={} meta_ways={}",
+        hints.pc_hints.len(),
+        hints.instruction_overhead(),
+        hints.csr.enabled,
+        hints.csr.meta_ways
+    );
+    if let Some(out) = hints_out {
+        // The wire bytes are the hint-file format `run --hints` reads.
+        std::fs::write(&out, &bytes)
+            .unwrap_or_else(|e| die(&format!("cannot write hints file {out}: {e}")));
+        println!("hints written to {out}");
+    }
+}
+
 /// Online phase: run full Prophet from an exported hint file.
 fn cmd_run(args: &RunArgs, name: &str, hints_path: &str) {
     let (key, hints) = read_hints_file(hints_path)
@@ -217,6 +320,8 @@ fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let hints_out = take_flag(&mut raw, "--hints-out");
     let hints_in = take_flag(&mut raw, "--hints");
+    let addr = take_flag(&mut raw, "--addr");
+    let service_threads = take_flag(&mut raw, "--service-threads");
     let args = match RunArgs::parse(raw.into_iter()) {
         Ok(a) => a,
         Err(e) => die(&e),
@@ -226,6 +331,40 @@ fn main() {
     };
 
     match first.as_str() {
+        "serve" => {
+            if !rest.is_empty() {
+                die("serve takes no workload");
+            }
+            cmd_serve(&args, addr, service_threads);
+            return;
+        }
+        "metrics" => {
+            if !rest.is_empty() {
+                die("metrics takes no workload");
+            }
+            let Some(addr) = addr else {
+                die("metrics needs --addr HOST:PORT");
+            };
+            let text = connect_daemon(&addr)
+                .metrics()
+                .unwrap_or_else(|e| die(&format!("metrics failed: {e}")));
+            print!("{text}");
+            return;
+        }
+        "submit" | "fetch" => {
+            let [name] = rest else {
+                die(&format!("{first} needs exactly one workload"));
+            };
+            let Some(addr) = addr else {
+                die(&format!("{first} needs --addr HOST:PORT"));
+            };
+            match first.as_str() {
+                "submit" => cmd_submit(&args, name, &addr),
+                "fetch" => cmd_fetch(&args, name, &addr, hints_out),
+                _ => unreachable!(),
+            }
+            return;
+        }
         "profile" | "optimize" | "run" => {
             let [name] = rest else {
                 die(&format!("{first} needs exactly one workload"));

@@ -21,29 +21,14 @@ use prophet_sim_mem::addr::{Addr, Cycle, Pc};
 use prophet_sim_mem::{Hierarchy, SystemConfig};
 use prophet_store::{
     config_digest, decode_checkpoint, decode_profile, encode_checkpoint, encode_profile,
-    ArtifactStore, ProfileArtifact, StoreKey, WarmupCheckpoint,
+    store_warn, ArtifactStore, ProfileArtifact, StoreKey, WarmupCheckpoint,
 };
 use prophet_temporal::{TemporalConfig, TemporalEngine, Triage, Triangel, TriangelConfig};
-use std::sync::atomic::{AtomicBool, Ordering};
 
-/// Whether [`store_warn`] actually prints. Tests that exercise store
-/// error paths on purpose (or that compare stderr) silence it with
-/// [`set_store_warnings`]; the default keeps operators informed.
-static STORE_WARNINGS: AtomicBool = AtomicBool::new(true);
-
-/// Enables or disables the harness's store warnings (process-wide).
-pub fn set_store_warnings(enabled: bool) {
-    STORE_WARNINGS.store(enabled, Ordering::Relaxed);
-}
-
-/// Single funnel for non-fatal artifact-store warnings: a store problem
-/// degrades to a cold run, so these are advisories, not errors — and the
-/// tests that provoke them can keep their output clean.
-fn store_warn(msg: std::fmt::Arguments<'_>) {
-    if STORE_WARNINGS.load(Ordering::Relaxed) {
-        eprintln!("{msg}");
-    }
-}
+// The silenceable warning funnel now lives in `prophet-store` (the service
+// shares it); re-exported here so existing `prophet_bench::
+// set_store_warnings` callers keep compiling.
+pub use prophet_store::set_store_warnings;
 
 /// Which L1 prefetcher a run uses (Figure 17 swaps stride for IPCP).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

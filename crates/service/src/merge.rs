@@ -1,0 +1,109 @@
+//! Canonical, order-independent merging of concurrent submissions.
+//!
+//! Eq. 4 pulls the merged per-PC counters toward each new observation by
+//! `1/min(l+1, L)` — a *capped running mean*. That recurrence is
+//! commutative only in special cases (disjoint PCs, or within the
+//! uncapped-mean regime); in general the result depends on the order the
+//! inputs are folded in. A daemon absorbing submissions from N racing
+//! connections therefore cannot just merge in arrival order and claim
+//! determinism.
+//!
+//! The fix is to make the merge order a function of the *content*, not the
+//! arrival: every submission is keyed by its canonical
+//! [`encode_counters`] byte string (deterministic — `per_pc` is ordered),
+//! deduplicated, and folded in lexicographic byte order. Any interleaving
+//! of any number of clients then yields bit-identical merged counters,
+//! hence bit-identical hints — the property the concurrency suite pins
+//! against a serial reference.
+
+use prophet::ProfileCounters;
+use prophet_store::{encode_counters, ProfileArtifact};
+use std::collections::BTreeMap;
+
+/// The content-keyed submission set: canonical bytes → counters.
+/// `BTreeMap` gives both deduplication and the canonical fold order.
+pub type SubmissionSet = BTreeMap<Vec<u8>, ProfileCounters>;
+
+/// Keys each profile by its canonical byte encoding, deduplicating
+/// byte-identical submissions.
+pub fn canonicalize(profiles: impl IntoIterator<Item = ProfileCounters>) -> SubmissionSet {
+    profiles
+        .into_iter()
+        .map(|c| (encode_counters(&c), c))
+        .collect()
+}
+
+/// Folds a canonical submission set through the Eq. 4/5 learning loop
+/// (each submission is one Prophet loop), returning the merged artifact.
+/// `None` when the set is empty.
+pub fn merge_canonical(subs: &SubmissionSet) -> Option<ProfileArtifact> {
+    if subs.is_empty() {
+        return None;
+    }
+    let mut learned = prophet::LearnedProfile::new();
+    for counters in subs.values() {
+        learned.learn(counters.clone());
+    }
+    Some(ProfileArtifact {
+        counters: learned
+            .counters()
+            .expect("learned from non-empty set")
+            .clone(),
+        loops: learned.loops(),
+    })
+}
+
+/// The serial reference: canonicalize then merge, in one step. Whatever a
+/// concurrent submission schedule produces must equal this.
+pub fn merge_profiles(profiles: &[ProfileCounters]) -> Option<ProfileArtifact> {
+    merge_canonical(&canonicalize(profiles.iter().cloned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prophet::PcProfile;
+
+    fn profile(seed: u64) -> ProfileCounters {
+        let mut c = ProfileCounters::default();
+        for i in 0..4 {
+            c.per_pc.insert(
+                0x1000 + (seed * 16 + i) % 32,
+                PcProfile {
+                    accuracy: ((seed + i) % 10) as f64 / 10.0,
+                    issued: 100.0 + seed as f64,
+                    l2_misses: 50.0 + i as f64,
+                },
+            );
+        }
+        c.insertions = 1000.0 * (seed + 1) as f64;
+        c.replacements = 10.0 * seed as f64;
+        c
+    }
+
+    #[test]
+    fn permutations_merge_identically() {
+        let profiles: Vec<_> = (0..5).map(profile).collect();
+        let reference = merge_profiles(&profiles).unwrap();
+        let mut rotated = profiles.clone();
+        rotated.rotate_left(2);
+        let mut reversed = profiles;
+        reversed.reverse();
+        assert_eq!(merge_profiles(&rotated).unwrap(), reference);
+        assert_eq!(merge_profiles(&reversed).unwrap(), reference);
+    }
+
+    #[test]
+    fn duplicates_are_merged_once() {
+        let p = profile(3);
+        let twice = merge_profiles(&[p.clone(), p.clone()]).unwrap();
+        let once = merge_profiles(&[p]).unwrap();
+        assert_eq!(twice, once);
+        assert_eq!(once.loops, 1);
+    }
+
+    #[test]
+    fn empty_set_is_none() {
+        assert!(merge_profiles(&[]).is_none());
+    }
+}

@@ -1,0 +1,415 @@
+//! The daemon's shared state: the per-workload registry over the store.
+//!
+//! Locking is two-level. The registry lock (a plain mutex over the
+//! `BTreeMap`) is held only to look up or create an entry `Arc`; all real
+//! work — deduplication, the canonical merge, analysis — happens under the
+//! *per-key* entry mutex, so submissions to different workloads never
+//! contend. Store writes additionally go through the store's per-key
+//! advisory file lock ([`ArtifactStore::update_profile`]), which extends
+//! the no-lost-update guarantee across daemon *processes* sharing one
+//! store directory.
+//!
+//! Generation rule: a key's generation equals its number of *distinct*
+//! submissions (byte-identical resubmissions dedup, see
+//! [`crate::merge`]). Every generation advance re-merges and re-analyzes
+//! eagerly, so a fetch is a cache read; `optimize` forces a re-analysis
+//! on demand.
+
+use crate::merge::{merge_canonical, SubmissionSet};
+use crate::metrics::ServiceMetrics;
+use crate::proto::{ErrorCode, OptimizeAck, SubmitAck};
+use crate::PROFILE_SUB_TAG;
+use prophet::{analyze, AnalysisConfig, HintSet, ProfileCounters};
+use prophet_store::{
+    decode_profile, encode_counters, encode_hints, fnv1a, store_warn, ArtifactStore,
+    ProfileArtifact, StoreError, StoreKey,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Why a request could not be served.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// No profile for the key, in memory or in the store.
+    UnknownWorkload(StoreKey),
+    /// The artifact store failed under the request.
+    Store(StoreError),
+}
+
+impl ServiceError {
+    /// The wire error code this failure maps to.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServiceError::UnknownWorkload(_) => ErrorCode::UnknownWorkload,
+            ServiceError::Store(StoreError::Io(_)) => ErrorCode::StoreUnavailable,
+            ServiceError::Store(StoreError::Decode(_)) => ErrorCode::Internal,
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownWorkload(key) => {
+                write!(f, "no profile known for workload '{}'", key.workload)
+            }
+            ServiceError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        ServiceError::Store(e)
+    }
+}
+
+/// Hints computed at some generation, cached until the next advance.
+#[derive(Debug)]
+struct HintsCache {
+    generation: u64,
+    bytes: Vec<u8>,
+    hinted_pcs: u64,
+    csr_enabled: bool,
+    meta_ways: u64,
+}
+
+/// One workload's live state.
+#[derive(Debug)]
+struct WorkloadEntry {
+    key: StoreKey,
+    submissions: SubmissionSet,
+    generation: u64,
+    hints: Option<HintsCache>,
+}
+
+impl WorkloadEntry {
+    fn new(key: StoreKey) -> Self {
+        WorkloadEntry {
+            key,
+            submissions: SubmissionSet::new(),
+            generation: 0,
+            hints: None,
+        }
+    }
+}
+
+/// The daemon's shared state. One instance is shared (via `Arc`) by every
+/// worker thread; all methods take `&self`.
+#[derive(Debug)]
+pub struct ServiceState {
+    store: ArtifactStore,
+    analysis: AnalysisConfig,
+    registry: Mutex<BTreeMap<String, Arc<Mutex<WorkloadEntry>>>>,
+    metrics: ServiceMetrics,
+}
+
+/// Registry index of a key: every field, not just the workload string, so
+/// the same workload profiled under different configs/windows stays
+/// distinct (mirroring the store's content addressing).
+fn registry_key(key: &StoreKey) -> String {
+    format!(
+        "{}|{:016x}|{}|{}",
+        key.workload, key.config, key.warmup, key.measure
+    )
+}
+
+/// The store key an individual submission artifact is persisted under:
+/// the base key with a content-digest suffix on the workload spec.
+fn submission_key(base: &StoreKey, canonical_bytes: &[u8]) -> StoreKey {
+    StoreKey {
+        workload: format!(
+            "{}{}{:016x}",
+            base.workload,
+            PROFILE_SUB_TAG,
+            fnv1a(canonical_bytes)
+        ),
+        ..base.clone()
+    }
+}
+
+/// Splits a submission artifact's workload spec back into the base spec;
+/// `None` if the spec carries no submission tag.
+fn split_submission_workload(workload: &str) -> Option<&str> {
+    let at = workload.rfind(PROFILE_SUB_TAG)?;
+    let digest = &workload[at + PROFILE_SUB_TAG.len()..];
+    (digest.len() == 16 && digest.bytes().all(|b| b.is_ascii_hexdigit())).then(|| &workload[..at])
+}
+
+impl ServiceState {
+    /// Opens the store at `dir` and rebuilds the registry from the
+    /// submission artifacts already persisted there, so a restarted
+    /// daemon resumes exactly where the previous one stopped.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let state = ServiceState {
+            store: ArtifactStore::open(dir)?,
+            analysis: AnalysisConfig::default(),
+            registry: Mutex::new(BTreeMap::new()),
+            metrics: ServiceMetrics::default(),
+        };
+        let recovered = state.recover()?;
+        state.metrics.record_recovered(recovered);
+        Ok(state)
+    }
+
+    /// The underlying artifact store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// The daemon's counters.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Scans the store directory for persisted submission artifacts
+    /// (profiles whose workload spec carries the submission tag) and
+    /// replays them into the registry. Returns how many were recovered.
+    /// Undecodable or foreign files are skipped — same miss-on-corruption
+    /// policy as the store itself.
+    fn recover(&self) -> Result<u64, StoreError> {
+        let mut recovered = 0;
+        for dirent in std::fs::read_dir(self.store.dir())? {
+            let path = dirent?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !(name.starts_with("profile-") && name.ends_with(".bin")) {
+                continue;
+            }
+            let Ok(bytes) = std::fs::read(&path) else {
+                continue;
+            };
+            let Ok((key, artifact)) = decode_profile(&bytes) else {
+                continue;
+            };
+            let Some(base_workload) = split_submission_workload(&key.workload) else {
+                continue; // a merged artifact, not a submission
+            };
+            let base = StoreKey {
+                workload: base_workload.to_string(),
+                ..key.clone()
+            };
+            let entry = self.entry(&base);
+            let mut e = entry.lock().unwrap();
+            if e.submissions
+                .insert(encode_counters(&artifact.counters), artifact.counters)
+                .is_none()
+            {
+                e.generation += 1;
+                recovered += 1;
+            }
+        }
+        Ok(recovered)
+    }
+
+    /// Looks up the entry for `key`, creating it if absent.
+    fn entry(&self, key: &StoreKey) -> Arc<Mutex<WorkloadEntry>> {
+        let mut registry = self.registry.lock().unwrap();
+        registry
+            .entry(registry_key(key))
+            .or_insert_with(|| Arc::new(Mutex::new(WorkloadEntry::new(key.clone()))))
+            .clone()
+    }
+
+    /// Looks up the entry for `key` without creating it.
+    fn lookup(&self, key: &StoreKey) -> Option<Arc<Mutex<WorkloadEntry>>> {
+        self.registry
+            .lock()
+            .unwrap()
+            .get(&registry_key(key))
+            .cloned()
+    }
+
+    /// Re-merges the entry's submissions canonically, persists the merged
+    /// artifact under the store's per-key lock, re-analyzes, and refreshes
+    /// the hint cache. Requires at least one submission.
+    fn reoptimize(&self, e: &mut WorkloadEntry) -> Result<(), ServiceError> {
+        let merged = merge_canonical(&e.submissions).expect("reoptimize on empty submission set");
+        self.store.update_profile(&e.key, |_| merged.clone())?;
+        self.metrics.record_merge();
+        let hints = analyze(&merged.counters, &self.analysis);
+        if let Err(err) = self.store.save_hints(&e.key, &hints) {
+            store_warn(format_args!(
+                "warning: failed to persist hints for '{}': {err}",
+                e.key.workload
+            ));
+        }
+        e.hints = Some(HintsCache {
+            generation: e.generation,
+            bytes: encode_hints(&e.key, &hints),
+            hinted_pcs: hints.pc_hints.len() as u64,
+            csr_enabled: hints.csr.enabled,
+            meta_ways: hints.csr.meta_ways as u64,
+        });
+        self.metrics.record_optimize();
+        Ok(())
+    }
+
+    /// Accepts one profiling run's counters for `key`.
+    ///
+    /// A byte-identical duplicate of an earlier submission is
+    /// acknowledged without advancing anything; fresh content persists a
+    /// submission artifact, advances the generation, and eagerly re-merges
+    /// and re-analyzes. The persist happens *before* the in-memory insert,
+    /// so a store failure surfaces as a typed error with the registry
+    /// unchanged.
+    pub fn submit(
+        &self,
+        key: &StoreKey,
+        counters: ProfileCounters,
+    ) -> Result<SubmitAck, ServiceError> {
+        let entry = self.entry(key);
+        let mut e = entry.lock().unwrap();
+        let bytes = encode_counters(&counters);
+        if e.submissions.contains_key(&bytes) {
+            self.metrics.record_submission(false);
+            return Ok(SubmitAck {
+                generation: e.generation,
+                submissions: e.submissions.len() as u64,
+                fresh: false,
+            });
+        }
+        let sub_key = submission_key(key, &bytes);
+        self.store.save_profile(
+            &sub_key,
+            &ProfileArtifact {
+                counters: counters.clone(),
+                loops: 1,
+            },
+        )?;
+        e.submissions.insert(bytes, counters);
+        e.generation += 1;
+        self.metrics.record_submission(true);
+        self.reoptimize(&mut e)?;
+        Ok(SubmitAck {
+            generation: e.generation,
+            submissions: e.submissions.len() as u64,
+            fresh: true,
+        })
+    }
+
+    /// Serves the analyzed hint-set artifact bytes for `key`.
+    ///
+    /// Preference order: the live registry (hints re-derived if the cache
+    /// is behind the generation), then a profile the offline
+    /// `prophet_cli profile` pipeline left in the store, then a bare hints
+    /// artifact. A key known nowhere is a typed
+    /// [`ServiceError::UnknownWorkload`].
+    pub fn fetch(&self, key: &StoreKey) -> Result<Vec<u8>, ServiceError> {
+        if let Some(entry) = self.lookup(key) {
+            let mut e = entry.lock().unwrap();
+            if !e.submissions.is_empty() {
+                if e.hints.as_ref().map(|h| h.generation) != Some(e.generation) {
+                    self.reoptimize(&mut e)?;
+                }
+                self.metrics.record_fetch(false);
+                return Ok(e
+                    .hints
+                    .as_ref()
+                    .expect("reoptimize filled cache")
+                    .bytes
+                    .clone());
+            }
+        }
+        if let Some(artifact) = self.store.load_profile(key)? {
+            let hints = analyze(&artifact.counters, &self.analysis);
+            self.metrics.record_fetch(true);
+            return Ok(encode_hints(key, &hints));
+        }
+        if let Some(hints) = self.store.load_hints(key)? {
+            self.metrics.record_fetch(true);
+            return Ok(encode_hints(key, &hints));
+        }
+        Err(ServiceError::UnknownWorkload(key.clone()))
+    }
+
+    /// Forces re-analysis of `key`'s merged profile now, returning a
+    /// summary of the refreshed hints.
+    pub fn optimize(&self, key: &StoreKey) -> Result<OptimizeAck, ServiceError> {
+        if let Some(entry) = self.lookup(key) {
+            let mut e = entry.lock().unwrap();
+            if !e.submissions.is_empty() {
+                self.reoptimize(&mut e)?;
+                let h = e.hints.as_ref().expect("reoptimize filled cache");
+                return Ok(OptimizeAck {
+                    generation: h.generation,
+                    hinted_pcs: h.hinted_pcs,
+                    csr_enabled: h.csr_enabled,
+                    meta_ways: h.meta_ways,
+                });
+            }
+        }
+        if let Some(artifact) = self.store.load_profile(key)? {
+            let hints = analyze(&artifact.counters, &self.analysis);
+            if let Err(err) = self.store.save_hints(key, &hints) {
+                store_warn(format_args!(
+                    "warning: failed to persist hints for '{}': {err}",
+                    key.workload
+                ));
+            }
+            self.metrics.record_optimize();
+            return Ok(OptimizeAck {
+                generation: artifact.loops as u64,
+                hinted_pcs: hints.pc_hints.len() as u64,
+                csr_enabled: hints.csr.enabled,
+                meta_ways: hints.csr.meta_ways as u64,
+            });
+        }
+        Err(ServiceError::UnknownWorkload(key.clone()))
+    }
+
+    /// Renders the full plaintext metrics snapshot: service counters,
+    /// store activity, then one generation/submission-count pair per
+    /// known key (sorted — the registry is a `BTreeMap`).
+    pub fn render_metrics(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        self.metrics.render_into(&mut out);
+        let a = self.store.activity();
+        for (name, v) in [
+            ("prophet_store_checkpoints_reused", a.checkpoints_reused),
+            ("prophet_store_checkpoints_created", a.checkpoints_created),
+            ("prophet_store_checkpoints_missed", a.checkpoints_missed),
+            ("prophet_store_profiles_reused", a.profiles_reused),
+            ("prophet_store_profiles_created", a.profiles_created),
+            ("prophet_store_profiles_missed", a.profiles_missed),
+            ("prophet_store_hints_created", a.hints_created),
+            ("prophet_store_hints_reused", a.hints_reused),
+        ] {
+            let _ = writeln!(out, "{name} {v}");
+        }
+        let registry = self.registry.lock().unwrap();
+        for (rkey, entry) in registry.iter() {
+            let e = entry.lock().unwrap();
+            let _ = writeln!(
+                out,
+                "prophet_profile_generation{{key=\"{rkey}\"}} {}",
+                e.generation
+            );
+            let _ = writeln!(
+                out,
+                "prophet_profile_submissions{{key=\"{rkey}\"}} {}",
+                e.submissions.len()
+            );
+        }
+        out
+    }
+
+    /// The analysis configuration the daemon optimizes with (the default —
+    /// the same one `prophet_cli optimize` uses, which the byte-equality
+    /// guarantee depends on).
+    pub fn analysis(&self) -> &AnalysisConfig {
+        &self.analysis
+    }
+
+    /// Decoded hints for `key` (convenience over [`ServiceState::fetch`]).
+    pub fn fetch_decoded(&self, key: &StoreKey) -> Result<HintSet, ServiceError> {
+        let bytes = self.fetch(key)?;
+        let (_, hints) = prophet_store::decode_hints(&bytes)
+            .map_err(|e| ServiceError::Store(StoreError::Decode(e)))?;
+        Ok(hints)
+    }
+}

@@ -1,0 +1,187 @@
+//! Property suite for the merge-order question.
+//!
+//! Raw `ProfileCounters::merge` (Eq. 4) is a capped running mean — it is
+//! *not* commutative in general, which is exactly why the service imposes
+//! a canonical content order before folding. These properties pin both
+//! halves: the special cases where the raw merge does commute (disjoint
+//! PCs; the Eq. 5 max), and the full guarantee that the *canonical* merge
+//! is invariant under any permutation and duplication of the submission
+//! list — hence any submission order yields an identical optimized hint
+//! set.
+
+use prophet::{analyze, AnalysisConfig, PcProfile, ProfileCounters};
+use prophet_service::merge_profiles;
+use prophet_store::encode_counters;
+use proptest::prelude::*;
+
+/// Builds counters from generated raw parts. PCs are drawn from a small
+/// window so distinct profiles overlap (the order-sensitive case).
+fn build(pcs: Vec<(u64, f64, f64, f64)>, ins: f64, rep: f64) -> ProfileCounters {
+    let mut c = ProfileCounters::default();
+    for (pc, acc, issued, misses) in pcs {
+        c.per_pc.insert(
+            0x1000 + pc,
+            PcProfile {
+                accuracy: acc,
+                issued,
+                l2_misses: misses,
+            },
+        );
+    }
+    c.insertions = ins;
+    c.replacements = rep;
+    c
+}
+
+type RawProfile = (Vec<(u64, f64, f64, f64)>, f64, f64);
+
+fn profile_strategy() -> impl Strategy<Value = RawProfile> {
+    (
+        collection::vec(
+            (0u64..16, 0.0f64..1.0, 0.0f64..2_000.0, 0.0f64..2_000.0),
+            1..6,
+        ),
+        0.0f64..100_000.0,
+        0.0f64..50_000.0,
+    )
+}
+
+proptest! {
+    /// The service-level guarantee: canonical merge is invariant under
+    /// permutation AND duplication of the submission list, bit-for-bit,
+    /// all the way through analysis to the hint set.
+    #[test]
+    fn canonical_merge_is_order_and_duplication_invariant(
+        raw in collection::vec(profile_strategy(), 2..6),
+        rot in 0usize..8,
+        dup in 0usize..8,
+    ) {
+        let profiles: Vec<ProfileCounters> =
+            raw.into_iter().map(|(pcs, i, r)| build(pcs, i, r)).collect();
+        let reference = merge_profiles(&profiles).unwrap();
+
+        let mut permuted = profiles.clone();
+        let turn = rot % permuted.len();
+        permuted.rotate_left(turn);
+        permuted.reverse();
+        // Resubmit one profile (a duplicate must be a no-op).
+        let extra = profiles[dup % profiles.len()].clone();
+        permuted.push(extra);
+
+        let merged = merge_profiles(&permuted).unwrap();
+        prop_assert_eq!(&merged, &reference);
+        // Bit-for-bit at the byte level, and identical hints after
+        // analysis — the property the daemon's clients observe.
+        prop_assert_eq!(
+            encode_counters(&merged.counters),
+            encode_counters(&reference.counters)
+        );
+        let cfg = AnalysisConfig::default();
+        prop_assert_eq!(
+            analyze(&merged.counters, &cfg),
+            analyze(&reference.counters, &cfg)
+        );
+    }
+
+    /// Raw Eq. 4 commutes exactly when the PC sets are disjoint: each
+    /// side's per-PC values are adopted verbatim, so order cannot matter
+    /// for `per_pc`; Eq. 5's allocated-entries metric is a max, so it
+    /// commutes too.
+    #[test]
+    fn raw_merge_commutes_on_disjoint_pcs(
+        a_raw in profile_strategy(),
+        b_raw in profile_strategy(),
+        loops in 0u32..8,
+    ) {
+        let (pcs_a, ins_a, rep_a) = a_raw;
+        let (pcs_b, ins_b, rep_b) = b_raw;
+        let a = build(pcs_a, ins_a, rep_a);
+        // Shift b's PCs out of a's window to force disjointness.
+        let b = build(
+            pcs_b.into_iter().map(|(pc, x, y, z)| (pc + 0x100, x, y, z)).collect(),
+            ins_b,
+            rep_b,
+        );
+        let cap = 4;
+        let mut ab = a.clone();
+        ab.merge(&b, loops, cap);
+        let mut ba = b.clone();
+        ba.merge(&a, loops, cap);
+        prop_assert_eq!(&ab.per_pc, &ba.per_pc);
+        prop_assert_eq!(ab.allocated_entries(), ba.allocated_entries());
+    }
+
+    /// Eq. 5 alone (allocated entries = max) is commutative and
+    /// associative exactly, for any merge order and loop counts.
+    #[test]
+    fn eq5_allocated_entries_is_max_under_any_order(
+        a_raw in profile_strategy(),
+        b_raw in profile_strategy(),
+        c_raw in profile_strategy(),
+    ) {
+        let (_, ins_a, rep_a) = a_raw;
+        let (_, ins_b, rep_b) = b_raw;
+        let (_, ins_c, rep_c) = c_raw;
+        let a = build(vec![], ins_a, rep_a);
+        let b = build(vec![], ins_b, rep_b);
+        let c = build(vec![], ins_c, rep_c);
+        let expect = a
+            .allocated_entries()
+            .max(b.allocated_entries())
+            .max(c.allocated_entries());
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b, 1, 4);
+        left.merge(&c, 2, 4);
+        // c ⊕ (b ⊕ a)
+        let mut right = c.clone();
+        right.merge(&b, 1, 4);
+        right.merge(&a, 2, 4);
+        prop_assert_eq!(left.allocated_entries(), expect);
+        prop_assert_eq!(right.allocated_entries(), expect);
+    }
+
+    /// Byte-identical counters are one submission no matter how many
+    /// times they arrive — the deduplication half of the cap semantics.
+    #[test]
+    fn duplicated_submissions_collapse(
+        raw in profile_strategy(),
+        copies in 2usize..6,
+    ) {
+        let (pcs, ins, rep) = raw;
+        let p = build(pcs, ins, rep);
+        let once = merge_profiles(std::slice::from_ref(&p)).unwrap();
+        let many = merge_profiles(&vec![p; copies]).unwrap();
+        prop_assert_eq!(&many, &once);
+        prop_assert_eq!(many.loops, 1);
+    }
+}
+
+/// The motivating counterexample, pinned so nobody "simplifies" the
+/// canonical ordering away: the raw Eq. 4 fold over *overlapping* PCs is
+/// genuinely order-dependent. Note the subtlety: below the loop cap the
+/// update is an exact running mean (order-independent!); sensitivity
+/// begins once the divisor saturates at the cap and the fold becomes an
+/// EMA, so the counterexample needs more profiles than `DEFAULT_LOOP_CAP`.
+#[test]
+fn raw_merge_order_matters_for_overlapping_pcs() {
+    let mk = |acc: f64| build(vec![(1, acc, 100.0, 100.0)], 0.0, 0.0);
+    let profiles: Vec<ProfileCounters> =
+        [0.0, 0.2, 0.4, 0.6, 0.8, 1.0].into_iter().map(mk).collect();
+    let fold = |order: &[&ProfileCounters]| {
+        let mut learned = prophet::LearnedProfile::new();
+        for p in order {
+            learned.learn((*p).clone());
+        }
+        learned.counters().unwrap().per_pc[&0x1001].accuracy
+    };
+    let forward: Vec<&ProfileCounters> = profiles.iter().collect();
+    let backward: Vec<&ProfileCounters> = profiles.iter().rev().collect();
+    let fwd = fold(&forward);
+    let bwd = fold(&backward);
+    assert!(
+        (fwd - bwd).abs() > 1e-3,
+        "if the raw fold were order-independent ({fwd} vs {bwd}), \
+         the canonical ordering would be unnecessary"
+    );
+}

@@ -394,6 +394,35 @@ fn dec_temporal(d: &mut Decoder<'_>) -> Result<TemporalSnapshot, DecodeError> {
     })
 }
 
+/// Encodes bare [`ProfileCounters`] (no header) into a canonical byte
+/// string.
+///
+/// The encoding is deterministic — `per_pc` is a `BTreeMap`, so two equal
+/// counter sets always serialize identically — which makes the bytes a
+/// *canonical form*: the service keys submissions by them to deduplicate
+/// repeated uploads and to impose one content-defined merge order on any
+/// set of concurrent submitters (DESIGN.md §8).
+pub fn encode_counters(c: &ProfileCounters) -> Vec<u8> {
+    let mut e = Encoder::new();
+    enc_counters(&mut e, c);
+    e.finish()
+}
+
+/// Decodes bare [`ProfileCounters`] produced by [`encode_counters`],
+/// requiring the whole slice to be consumed.
+pub fn decode_counters(bytes: &[u8]) -> Result<ProfileCounters, DecodeError> {
+    let mut d = Decoder::new(bytes);
+    let c = dec_counters(&mut d)?;
+    d.expect_end()?;
+    Ok(c)
+}
+
+/// FNV-1a digest of the canonical [`encode_counters`] bytes — the stable
+/// content identity of one submission.
+pub fn counters_digest(c: &ProfileCounters) -> u64 {
+    crate::key::fnv1a(&encode_counters(c))
+}
+
 fn enc_counters(e: &mut Encoder, c: &ProfileCounters) {
     e.len_prefix(c.per_pc.len());
     for (&pc, p) in &c.per_pc {

@@ -48,6 +48,7 @@ pub mod artifact;
 pub mod codec;
 pub mod key;
 pub mod store;
+pub mod warn;
 
 /// Version byte of the on-disk format. Bump on any layout change: files
 /// from other versions decode to [`codec::DecodeError::UnsupportedVersion`]
@@ -55,9 +56,14 @@ pub mod store;
 pub const FORMAT_VERSION: u16 = 1;
 
 pub use artifact::{
-    decode_checkpoint, decode_hints, decode_profile, encode_checkpoint, encode_hints,
-    encode_profile, ArtifactKind, ProfileArtifact, WarmupCheckpoint, MAGIC,
+    counters_digest, decode_checkpoint, decode_counters, decode_hints, decode_profile,
+    encode_checkpoint, encode_counters, encode_hints, encode_profile, ArtifactKind,
+    ProfileArtifact, WarmupCheckpoint, MAGIC,
 };
 pub use codec::{DecodeError, Decoder, Encoder};
 pub use key::{config_digest, fnv1a, StoreKey};
-pub use store::{read_hints_file, write_hints_file, ArtifactStore, StoreActivity, StoreError};
+pub use store::{
+    read_hints_file, write_hints_file, ArtifactStore, CasOutcome, KeyLockGuard, StoreActivity,
+    StoreError,
+};
+pub use warn::{set_store_warnings, store_warn, store_warnings_enabled};

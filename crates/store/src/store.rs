@@ -14,10 +14,12 @@ use crate::artifact::{
 };
 use crate::codec::DecodeError;
 use crate::key::StoreKey;
+use crate::warn::store_warn;
 use prophet::HintSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Anything that can go wrong talking to a store.
 #[derive(Debug)]
@@ -59,6 +61,55 @@ pub struct StoreActivity {
     pub checkpoints_created: u64,
     pub profiles_reused: u64,
     pub profiles_created: u64,
+    /// Lookups that found no artifact (absent file or key-echo mismatch).
+    pub checkpoints_missed: u64,
+    pub profiles_missed: u64,
+    /// Hint sets written into / served from the store.
+    pub hints_created: u64,
+    pub hints_reused: u64,
+}
+
+/// Outcome of a [`ArtifactStore::save_profile_if`] compare-and-swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CasOutcome {
+    /// The generation matched; the artifact was written.
+    Stored,
+    /// Another writer advanced the key first; nothing was written. Reload,
+    /// re-merge, retry.
+    Conflict {
+        /// Loop count found on disk (`None` = no decodable artifact).
+        found_loops: Option<u32>,
+    },
+}
+
+/// How long a per-key lock file may sit untouched before waiters treat its
+/// holder as dead, break the lock (with a [`store_warn`] advisory), and
+/// proceed. Every legitimate critical section is a read-merge-write of one
+/// small artifact — microseconds, not seconds.
+const LOCK_STALE_AFTER: Duration = Duration::from_secs(10);
+
+/// Back-off between lock acquisition attempts.
+const LOCK_RETRY_EVERY: Duration = Duration::from_micros(200);
+
+/// An acquired per-key advisory lock (see [`ArtifactStore::lock_key`]).
+/// Released on drop by removing the lock file; a crashed holder's file is
+/// reclaimed by waiters once its mtime is more than ten seconds old.
+#[derive(Debug)]
+pub struct KeyLockGuard {
+    path: PathBuf,
+}
+
+impl Drop for KeyLockGuard {
+    fn drop(&mut self) {
+        if let Err(e) = std::fs::remove_file(&self.path) {
+            if e.kind() != std::io::ErrorKind::NotFound {
+                store_warn(format_args!(
+                    "warning: failed to release store lock {}: {e}",
+                    self.path.display()
+                ));
+            }
+        }
+    }
 }
 
 /// A content-addressed artifact cache rooted at one directory.
@@ -69,6 +120,10 @@ pub struct ArtifactStore {
     ckpt_saves: AtomicU64,
     prof_hits: AtomicU64,
     prof_saves: AtomicU64,
+    ckpt_misses: AtomicU64,
+    prof_misses: AtomicU64,
+    hint_hits: AtomicU64,
+    hint_saves: AtomicU64,
 }
 
 impl ArtifactStore {
@@ -82,6 +137,10 @@ impl ArtifactStore {
             ckpt_saves: AtomicU64::new(0),
             prof_hits: AtomicU64::new(0),
             prof_saves: AtomicU64::new(0),
+            ckpt_misses: AtomicU64::new(0),
+            prof_misses: AtomicU64::new(0),
+            hint_hits: AtomicU64::new(0),
+            hint_saves: AtomicU64::new(0),
         })
     }
 
@@ -97,6 +156,10 @@ impl ArtifactStore {
             checkpoints_created: self.ckpt_saves.load(Ordering::Relaxed),
             profiles_reused: self.prof_hits.load(Ordering::Relaxed),
             profiles_created: self.prof_saves.load(Ordering::Relaxed),
+            checkpoints_missed: self.ckpt_misses.load(Ordering::Relaxed),
+            profiles_missed: self.prof_misses.load(Ordering::Relaxed),
+            hints_created: self.hint_saves.load(Ordering::Relaxed),
+            hints_reused: self.hint_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -140,10 +203,12 @@ impl ArtifactStore {
     /// file's key echo does not match (digest collision → miss).
     pub fn load_checkpoint(&self, key: &StoreKey) -> Result<Option<WarmupCheckpoint>, StoreError> {
         let Some(bytes) = Self::read_opt(&self.path_for(ArtifactKind::Checkpoint, key))? else {
+            self.ckpt_misses.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
         };
         let (embedded, ckpt) = decode_checkpoint(&bytes)?;
         if embedded != *key {
+            self.ckpt_misses.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
         }
         self.ckpt_hits.fetch_add(1, Ordering::Relaxed);
@@ -166,10 +231,12 @@ impl ArtifactStore {
     /// key-echo mismatch.
     pub fn load_profile(&self, key: &StoreKey) -> Result<Option<ProfileArtifact>, StoreError> {
         let Some(bytes) = Self::read_opt(&self.path_for(ArtifactKind::Profile, key))? else {
+            self.prof_misses.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
         };
         let (embedded, artifact) = decode_profile(&bytes)?;
         if embedded != *key {
+            self.prof_misses.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
         }
         self.prof_hits.fetch_add(1, Ordering::Relaxed);
@@ -180,7 +247,124 @@ impl ArtifactStore {
     pub fn save_hints(&self, key: &StoreKey, hints: &HintSet) -> Result<PathBuf, StoreError> {
         let path = self.path_for(ArtifactKind::Hints, key);
         self.write_atomic(&path, &encode_hints(key, hints))?;
+        self.hint_saves.fetch_add(1, Ordering::Relaxed);
         Ok(path)
+    }
+
+    /// Loads the hint set at `key`; `Ok(None)` when absent or on a key-echo
+    /// mismatch.
+    pub fn load_hints(&self, key: &StoreKey) -> Result<Option<HintSet>, StoreError> {
+        let Some(bytes) = Self::read_opt(&self.path_for(ArtifactKind::Hints, key))? else {
+            return Ok(None);
+        };
+        let (embedded, hints) = decode_hints(&bytes)?;
+        if embedded != *key {
+            return Ok(None);
+        }
+        self.hint_hits.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(hints))
+    }
+
+    /// Acquires the per-key advisory lock for `(kind, key)`, spinning (with
+    /// back-off) until the lock file can be created exclusively.
+    ///
+    /// The lock is a `<kind>-<digest>.lock` sibling created with
+    /// `create_new` (atomic on every platform the store targets) and
+    /// removed when the returned guard drops. It serializes *read-merge-
+    /// write* cycles on one artifact across threads and processes — the
+    /// existing temp-file + rename dance already keeps individual writes
+    /// atomic, but without the lock two concurrent mergers could both read
+    /// generation *g* and the second rename would silently drop the first
+    /// merge (the classic lost update). A lock file untouched for more
+    /// than ten seconds is presumed abandoned by a crashed holder and
+    /// is broken with a warning.
+    pub fn lock_key(&self, kind: ArtifactKind, key: &StoreKey) -> Result<KeyLockGuard, StoreError> {
+        let path = self.path_for(kind, key).with_extension("lock");
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(_) => return Ok(KeyLockGuard { path }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let stale = std::fs::metadata(&path)
+                        .and_then(|md| md.modified())
+                        .ok()
+                        .and_then(|at| at.elapsed().ok())
+                        .is_some_and(|age| age > LOCK_STALE_AFTER);
+                    if stale {
+                        store_warn(format_args!(
+                            "warning: breaking stale store lock {} (holder presumed dead)",
+                            path.display()
+                        ));
+                        // Best-effort: if the holder woke up and released
+                        // in the meantime this is a no-op, and the retry
+                        // loop re-arbitrates via create_new either way.
+                        std::fs::remove_file(&path).ok();
+                    } else {
+                        std::thread::sleep(LOCK_RETRY_EVERY);
+                    }
+                }
+                Err(e) => return Err(StoreError::Io(e)),
+            }
+        }
+    }
+
+    /// Atomically read-merge-writes the profile at `key` under the per-key
+    /// lock, returning the artifact that was stored.
+    ///
+    /// `f` receives the current artifact (`None` when absent; a corrupt
+    /// artifact degrades to `None` with a warning, matching the store's
+    /// miss-on-corruption policy) and returns the replacement. The lock
+    /// spans read *and* write, so concurrent updaters serialize and no
+    /// merge is lost.
+    pub fn update_profile<F>(&self, key: &StoreKey, f: F) -> Result<ProfileArtifact, StoreError>
+    where
+        F: FnOnce(Option<ProfileArtifact>) -> ProfileArtifact,
+    {
+        let _lock = self.lock_key(ArtifactKind::Profile, key)?;
+        let current = match self.load_profile(key) {
+            Ok(cur) => cur,
+            Err(StoreError::Decode(e)) => {
+                store_warn(format_args!(
+                    "warning: profile at {} is corrupt ({e}); rebuilding",
+                    self.path_for(ArtifactKind::Profile, key).display()
+                ));
+                None
+            }
+            Err(e) => return Err(e),
+        };
+        let next = f(current);
+        self.save_profile(key, &next)?;
+        Ok(next)
+    }
+
+    /// Compare-and-swap by generation: stores `artifact` only if the
+    /// on-disk loop count still equals `expected_loops` (`None` = "no
+    /// artifact yet"), all under the per-key lock.
+    ///
+    /// The optimistic alternative to [`ArtifactStore::update_profile`]:
+    /// merge outside the lock, then publish with the generation check; a
+    /// [`CasOutcome::Conflict`] means another writer advanced the key and
+    /// the caller must re-read and re-merge.
+    pub fn save_profile_if(
+        &self,
+        key: &StoreKey,
+        expected_loops: Option<u32>,
+        artifact: &ProfileArtifact,
+    ) -> Result<CasOutcome, StoreError> {
+        let _lock = self.lock_key(ArtifactKind::Profile, key)?;
+        let found_loops = match self.load_profile(key) {
+            Ok(cur) => cur.map(|a| a.loops),
+            Err(StoreError::Decode(_)) => None,
+            Err(e) => return Err(e),
+        };
+        if found_loops != expected_loops {
+            return Ok(CasOutcome::Conflict { found_loops });
+        }
+        self.save_profile(key, artifact)?;
+        Ok(CasOutcome::Stored)
     }
 }
 
